@@ -1,0 +1,65 @@
+"""Ablation: what does the adaptive mechanism actually buy BASH?
+
+DESIGN.md calls out the probabilistic, utilization-driven decision as the key
+design choice (the paper reports that a naive always/never-broadcast switch
+oscillated).  This ablation pins BASH's decision to always-broadcast and to
+always-unicast and compares both against the adaptive policy at a mid-range
+bandwidth with the 4x broadcast-cost proxy, where neither static choice is
+clearly right.  The adaptive policy should not be much worse than the better
+pinned policy at either extreme of the bandwidth range, and should be
+competitive in the middle.
+"""
+
+from repro.common.config import AdaptiveConfig, ProtocolName, SystemConfig
+from repro.system.multiprocessor import MultiprocessorSystem
+from repro.workloads.microbenchmark import LockingMicrobenchmark
+
+BANDWIDTHS = (400.0, 1600.0, 6400.0)
+POLICIES = ("adaptive", "always-broadcast", "always-unicast")
+
+
+def _run(policy: str, bandwidth: float) -> float:
+    config = SystemConfig(
+        num_processors=16,
+        protocol=ProtocolName.BASH,
+        bandwidth_mb_per_second=bandwidth,
+        broadcast_cost_factor=4.0,
+        adaptive=AdaptiveConfig(sampling_interval=128, policy_counter_bits=6),
+        random_seed=1,
+    )
+    workload = LockingMicrobenchmark(num_locks=512, acquires_per_processor=60)
+    system = MultiprocessorSystem(config, workload)
+    if policy == "always-broadcast":
+        for node in system.nodes:
+            node.cache_controller.adaptive.should_broadcast = lambda: True
+    elif policy == "always-unicast":
+        for node in system.nodes:
+            node.cache_controller.adaptive.should_broadcast = lambda: False
+    return system.run().performance
+
+
+def _sweep():
+    return {
+        policy: {bandwidth: _run(policy, bandwidth) for bandwidth in BANDWIDTHS}
+        for policy in POLICIES
+    }
+
+
+def test_adaptivity_ablation(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print("Ablation: BASH decision policy (16 processors, 4x broadcast cost)")
+    print(f"{'policy':>18}" + "".join(f"{bw:>12.0f}" for bw in BANDWIDTHS))
+    for policy, row in results.items():
+        print(f"{policy:>18}" + "".join(f"{row[bw]:>12.4f}" for bw in BANDWIDTHS))
+    adaptive = results["adaptive"]
+    broadcast = results["always-broadcast"]
+    unicast = results["always-unicast"]
+    # The pinned policies each lose badly somewhere; the adaptive policy stays
+    # within a modest factor of the better pinned policy at every point.
+    for bandwidth in BANDWIDTHS:
+        best = max(broadcast[bandwidth], unicast[bandwidth])
+        assert adaptive[bandwidth] > 0.6 * best
+    # And the two pinned policies really do trade places across the sweep.
+    assert unicast[BANDWIDTHS[0]] > broadcast[BANDWIDTHS[0]]
+    assert broadcast[BANDWIDTHS[-1]] >= 0.95 * unicast[BANDWIDTHS[-1]]

@@ -1,0 +1,46 @@
+"""Figures 1 and 5: microbenchmark performance vs available bandwidth.
+
+Regenerates the absolute performance curves of Figure 1 and their
+BASH-normalised form (Figure 5) for Snooping, Directory and BASH, and checks
+the qualitative shape: BASH tracks the better static protocol at both ends of
+the bandwidth range.
+"""
+
+from repro.common.config import ProtocolName
+from repro.experiments import (
+    crossover_summary,
+    figure1_microbenchmark_performance,
+    figure5_normalized_performance,
+    format_curves,
+    format_normalized,
+)
+
+from bench_common import BENCH_SCALE
+
+
+def _run_sweep():
+    curves = figure1_microbenchmark_performance(BENCH_SCALE)
+    normalised = figure5_normalized_performance(curves)
+    return curves, normalised
+
+
+def test_figure1_and_5(benchmark):
+    curves, normalised = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    xs = [point.x for point in curves[ProtocolName.BASH]]
+    print()
+    print(format_curves("Figure 1: performance vs bandwidth (MB/s)", curves))
+    print()
+    print(format_normalized("Figure 5: normalised to BASH", normalised, xs))
+    summary = crossover_summary(curves)
+    print()
+    print("Crossover summary:", summary)
+    # Shape check: BASH is never catastrophically worse than the best static
+    # protocol anywhere on the sweep.
+    assert summary["bash_worst_ratio_vs_best_static"] > 0.6
+    # And the two static protocols really do trade places across the sweep
+    # (Snooping gains on Directory as bandwidth grows).
+    snooping = curves[ProtocolName.SNOOPING]
+    directory = curves[ProtocolName.DIRECTORY]
+    first_ratio = snooping[0].performance / directory[0].performance
+    last_ratio = snooping[-1].performance / directory[-1].performance
+    assert last_ratio > first_ratio

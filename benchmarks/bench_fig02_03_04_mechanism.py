@@ -1,0 +1,42 @@
+"""Figures 2, 3 and 4: queueing model, utilization counter, transaction walk-throughs."""
+
+import pytest
+
+from repro.experiments import (
+    figure2_queueing_delay,
+    figure3_utilization_counter,
+    figure4_transaction_walkthrough,
+)
+
+
+def test_figure2_queueing_delay(benchmark):
+    points = benchmark(figure2_queueing_delay)
+    print()
+    print("Figure 2: mean queueing delay vs utilization (closed network, N=16)")
+    for point in points:
+        print(
+            f"  Z={point['think_time']:>6.1f}  "
+            f"util={point['utilization']:>6.3f}  "
+            f"delay={point['queueing_delay']:>8.3f}"
+        )
+    low = [p for p in points if p["utilization"] < 0.5]
+    high = [p for p in points if p["utilization"] > 0.95]
+    assert max(p["queueing_delay"] for p in low) < min(p["queueing_delay"] for p in high)
+
+
+def test_figure3_utilization_counter(benchmark):
+    data = benchmark(figure3_utilization_counter)
+    print()
+    print("Figure 3: utilization counter trace:", data["counter_values"])
+    assert data["counter_values"][-1] == -5
+
+
+def test_figure4_transaction_walkthrough(benchmark):
+    walkthrough = benchmark.pedantic(figure4_transaction_walkthrough, rounds=1, iterations=1)
+    print()
+    print("Figure 4: uncontended transaction latencies (ns)")
+    for name, metrics in walkthrough.items():
+        print(f"  {name:32s} {metrics['requester_miss_latency']:7.1f}")
+    assert walkthrough["snooping:cache-to-cache"]["requester_miss_latency"] == pytest.approx(125, abs=10)
+    assert walkthrough["directory:cache-to-cache"]["requester_miss_latency"] == pytest.approx(255, abs=12)
+    assert walkthrough["snooping:memory-to-cache"]["requester_miss_latency"] == pytest.approx(180, abs=10)

@@ -1,0 +1,50 @@
+"""Figures 6 and 7: endpoint link utilization and threshold sensitivity."""
+
+from repro.common.config import ProtocolName
+from repro.experiments import (
+    figure1_microbenchmark_performance,
+    figure6_link_utilization,
+    figure7_threshold_sensitivity,
+)
+
+from bench_common import BENCH_SCALE
+
+
+def test_figure6_link_utilization(benchmark):
+    curves = benchmark.pedantic(
+        lambda: figure1_microbenchmark_performance(BENCH_SCALE, bandwidths=(200, 3200)),
+        rounds=1,
+        iterations=1,
+    )
+    utilization = figure6_link_utilization(curves)
+    print()
+    print("Figure 6: endpoint link utilization vs bandwidth")
+    for protocol, points in utilization.items():
+        row = "  ".join(f"{p['bandwidth']:.0f}:{p['utilization']:.2f}" for p in points)
+        print(f"  {str(protocol):10s} {row}")
+    snooping = utilization[ProtocolName.SNOOPING]
+    directory = utilization[ProtocolName.DIRECTORY]
+    # Snooping over-utilises scarce bandwidth; Directory under-utilises
+    # plentiful bandwidth.
+    assert snooping[0]["utilization"] > 0.75
+    assert directory[-1]["utilization"] < 0.4
+    assert all(s["utilization"] > d["utilization"] for s, d in zip(snooping, directory))
+
+
+def test_figure7_threshold_sensitivity(benchmark):
+    sweeps = benchmark.pedantic(
+        lambda: figure7_threshold_sensitivity(
+            BENCH_SCALE, thresholds=(0.55, 0.75, 0.95), bandwidths=(400, 3200)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Figure 7: BASH performance for different utilization thresholds")
+    for threshold, points in sweeps.items():
+        row = "  ".join(f"{p.x:.0f}:{p.performance:.4f}" for p in points)
+        print(f"  threshold={threshold:.2f}  {row}")
+    # The paper: performance is not overly sensitive to the exact threshold.
+    for index in range(2):
+        values = [points[index].performance for points in sweeps.values()]
+        assert max(values) < 1.6 * min(values)

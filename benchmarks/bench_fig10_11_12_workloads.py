@@ -1,0 +1,68 @@
+"""Figures 10, 11 and 12: the commercial-workload evaluation (synthetic substitutes)."""
+
+from repro.common.config import ProtocolName
+from repro.experiments import (
+    figure10_workloads,
+    figure11_workloads_4x_broadcast,
+    figure12_workload_bars,
+    format_bars,
+    format_curves,
+)
+
+from bench_common import BENCH_SCALE
+
+WORKLOADS = ("oltp", "specjbb")  # representative subset for the CI-scale harness
+
+
+def test_figure10_workloads(benchmark):
+    sweeps = benchmark.pedantic(
+        lambda: figure10_workloads(
+            BENCH_SCALE, workloads=WORKLOADS, include_microbenchmark=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for name, curves in sweeps.items():
+        print(format_curves(f"Figure 10 [{name}]: performance vs bandwidth", curves))
+        print()
+        bash = curves[ProtocolName.BASH]
+        snooping = curves[ProtocolName.SNOOPING]
+        directory = curves[ProtocolName.DIRECTORY]
+        for b, s, d in zip(bash, snooping, directory):
+            assert b.performance > 0.6 * max(s.performance, d.performance)
+
+
+def test_figure11_workloads_4x_broadcast(benchmark):
+    sweeps = benchmark.pedantic(
+        lambda: figure11_workloads_4x_broadcast(
+            BENCH_SCALE, workloads=("oltp",), include_microbenchmark=True
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for name, curves in sweeps.items():
+        print(format_curves(f"Figure 11 [{name}] (4x broadcast cost)", curves))
+        print()
+        bash = curves[ProtocolName.BASH]
+        snooping = curves[ProtocolName.SNOOPING]
+        directory = curves[ProtocolName.DIRECTORY]
+        for b, s, d in zip(bash, snooping, directory):
+            assert b.performance > 0.6 * max(s.performance, d.performance)
+
+
+def test_figure12_workload_bars(benchmark):
+    bars = benchmark.pedantic(
+        lambda: figure12_workload_bars(BENCH_SCALE, workloads=WORKLOADS, bandwidth=1600.0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_bars("Figure 12: per-workload performance normalised to BASH "
+                      "(1600 MB/s, 4x broadcast cost)", bars))
+    for workload, row in bars.items():
+        assert row[str(ProtocolName.BASH)] == 1.0
+        # BASH matches or exceeds the best static protocol within tolerance.
+        best_static = max(row[str(ProtocolName.SNOOPING)], row[str(ProtocolName.DIRECTORY)])
+        assert best_static < 1.35

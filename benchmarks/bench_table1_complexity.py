@@ -1,0 +1,14 @@
+"""Table 1: protocol complexity (states, events, transitions)."""
+
+from repro.protocols.complexity import complexity_table, format_table, relative_shape_holds
+
+
+def test_table1_complexity(benchmark):
+    table = benchmark(complexity_table)
+    print()
+    print(format_table(include_paper=True))
+    assert relative_shape_holds()
+    bash = table["BASH"]
+    for baseline in ("Snooping", "Directory"):
+        assert bash["total_events"] > table[baseline]["total_events"]
+        assert bash["total_transitions"] > table[baseline]["total_transitions"]

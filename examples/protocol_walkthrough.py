@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Figure 4 walk-through: how each protocol completes two basic transactions.
+
+Reproduces the two transactions of Figure 4 — a memory-to-cache transfer and a
+cache-to-cache transfer with an invalidation — under Snooping, Directory and
+BASH, and reports the requester's latency and the number of messages used.
+The uncontended latencies should match Section 4.2: ~180 ns from memory,
+~125 ns cache-to-cache for Snooping/broadcast BASH, ~255 ns cache-to-cache for
+Directory (and for a BASH unicast that needs one retry).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure4_transaction_walkthrough
+
+
+def main() -> None:
+    print("Figure 4: transaction walk-throughs (4 processors, uncontended)\n")
+    walkthrough = figure4_transaction_walkthrough()
+    print(f"{'scenario':<34} {'latency (ns)':>13} {'ordered msgs':>13} {'unordered msgs':>15}")
+    for name, metrics in walkthrough.items():
+        print(
+            f"{name:<34} {metrics['requester_miss_latency']:>13.0f} "
+            f"{metrics['ordered_messages']:>13.0f} {metrics['unordered_messages']:>15.0f}"
+        )
+    print(
+        "\nSnooping and (broadcast) BASH avoid the directory indirection on the "
+        "cache-to-cache transfer, which is exactly the latency advantage the "
+        "adaptive mechanism tries to keep whenever bandwidth allows."
+    )
+
+
+if __name__ == "__main__":
+    main()

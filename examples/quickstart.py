@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one machine under all three coherence protocols.
+
+Builds a 16-processor system with 1600 MB/s endpoint links, runs the paper's
+locking microbenchmark under Snooping, Directory and BASH, and prints the
+throughput, miss latency, link utilization and broadcast fraction of each.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AdaptiveConfig,
+    LockingMicrobenchmark,
+    ProtocolName,
+    SystemConfig,
+    simulate,
+)
+
+
+def main() -> None:
+    print("Bandwidth Adaptive Snooping reproduction - quickstart")
+    print("16 processors, 1600 MB/s endpoint links, locking microbenchmark\n")
+    header = (
+        f"{'protocol':>10} {'acquires/us':>12} {'miss latency':>13} "
+        f"{'link util':>10} {'broadcasts':>11} {'retries':>8}"
+    )
+    print(header)
+    for protocol in (ProtocolName.SNOOPING, ProtocolName.DIRECTORY, ProtocolName.BASH):
+        config = SystemConfig(
+            num_processors=16,
+            protocol=protocol,
+            bandwidth_mb_per_second=1600,
+            # A faster-reacting adaptive mechanism than the paper's default so
+            # BASH reaches its operating point within this short run.
+            adaptive=AdaptiveConfig(sampling_interval=128, policy_counter_bits=6),
+            random_seed=42,
+        )
+        workload = LockingMicrobenchmark(num_locks=1024, acquires_per_processor=100)
+        result = simulate(config, workload)
+        print(
+            f"{str(protocol):>10} {result.performance * 1000:>12.2f} "
+            f"{result.mean_miss_latency:>10.0f} ns {result.mean_link_utilization:>10.2f} "
+            f"{result.broadcast_fraction:>10.0%} {result.retries:>8}"
+        )
+    print(
+        "\nSnooping broadcasts everything, Directory unicasts everything, and "
+        "BASH mixes the two based on its local estimate of link utilization."
+    )
+
+
+if __name__ == "__main__":
+    main()

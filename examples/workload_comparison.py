@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Figure 10-12 style comparison on the synthetic commercial workloads.
+
+Runs the five synthetic workload presets (OLTP, Apache, SPECjbb, Slashcode,
+Barnes-Hut) on a 16-processor system at a chosen bandwidth — optionally with
+the paper's 4x broadcast-cost proxy for larger machines — and prints each
+protocol's performance normalised to BASH, the format of Figure 12.
+
+Usage::
+
+    python examples/workload_comparison.py
+    python examples/workload_comparison.py --bandwidth 1600 --broadcast-cost 4
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.common.config import AdaptiveConfig, ProtocolName, SystemConfig
+from repro.system.multiprocessor import simulate
+from repro.workloads.presets import WORKLOAD_ORDER, preset
+from repro.workloads.synthetic import SyntheticCommercialWorkload
+
+PROTOCOLS = (ProtocolName.BASH, ProtocolName.SNOOPING, ProtocolName.DIRECTORY)
+
+
+def run_workload(name: str, protocol: ProtocolName, args) -> float:
+    config = SystemConfig(
+        num_processors=args.processors,
+        protocol=protocol,
+        bandwidth_mb_per_second=args.bandwidth,
+        broadcast_cost_factor=args.broadcast_cost,
+        adaptive=AdaptiveConfig(sampling_interval=128, policy_counter_bits=6),
+        cache_capacity_blocks=4096,
+        random_seed=args.seed,
+    )
+    workload = SyntheticCommercialWorkload(name, operations_per_processor=args.operations)
+    return simulate(config, workload).performance
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bandwidth", type=float, default=1600.0, help="endpoint MB/s")
+    parser.add_argument("--broadcast-cost", type=float, default=4.0,
+                        help="relative bandwidth cost of a broadcast (paper uses 4 in Fig. 11/12)")
+    parser.add_argument("--processors", type=int, default=16)
+    parser.add_argument("--operations", type=int, default=120, help="misses per processor")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    print(
+        f"Synthetic commercial workloads: {args.processors} processors, "
+        f"{args.bandwidth:.0f} MB/s, {args.broadcast_cost:.0f}x broadcast cost\n"
+    )
+    print(f"{'workload':>12} {'description':<40} "
+          + "".join(f"{str(p):>11}" for p in PROTOCOLS))
+    for name in WORKLOAD_ORDER:
+        performances = {p: run_workload(name, p, args) for p in PROTOCOLS}
+        bash = performances[ProtocolName.BASH] or 1.0
+        description = preset(name).description.split(":")[0]
+        row = "".join(f"{performances[p] / bash:>11.2f}" for p in PROTOCOLS)
+        print(f"{preset(name).name:>12} {description:<40}{row}")
+    print("\nValues are normalised to BASH (1.00); higher is better.")
+    print("As in Figure 12, BASH should match or exceed the better static "
+          "protocol on every workload.")
+
+
+if __name__ == "__main__":
+    main()

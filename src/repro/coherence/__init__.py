@@ -1,0 +1,17 @@
+"""Coherence substrate shared by all three protocols."""
+
+from .block import CacheBlock
+from .cache_state import CacheBlockStore
+from .directory import DirectoryEntry, DirectoryStore
+from .state import MEMORY_OWNER, MOSIState
+from .transaction import Transaction
+
+__all__ = [
+    "CacheBlock",
+    "CacheBlockStore",
+    "DirectoryEntry",
+    "DirectoryStore",
+    "MEMORY_OWNER",
+    "MOSIState",
+    "Transaction",
+]

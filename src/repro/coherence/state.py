@@ -1,0 +1,45 @@
+"""MOSI coherence states.
+
+All three protocols in the paper are write-invalidate MOSI protocols
+(Sweazey & Smith's class) that allow a processor to silently downgrade a block
+from Shared to Invalid.  Stable states live here; the controllers track
+transient conditions (outstanding transactions, pending writebacks) in their
+MSHR structures rather than as enumerated states, while the declarative
+protocol *specifications* used for the Table 1 complexity counts enumerate the
+transient states explicitly (see :mod:`repro.protocols`).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class MOSIState(Enum):
+    """Stable cache block states."""
+
+    MODIFIED = "M"
+    OWNED = "O"
+    SHARED = "S"
+    INVALID = "I"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_owner(self) -> bool:
+        """True when a cache in this state is the coherence owner."""
+        return self in (MOSIState.MODIFIED, MOSIState.OWNED)
+
+    @property
+    def has_valid_data(self) -> bool:
+        """True when a cache in this state holds a readable copy."""
+        return self is not MOSIState.INVALID
+
+    @property
+    def can_write(self) -> bool:
+        """True when a cache in this state may write without a request."""
+        return self is MOSIState.MODIFIED
+
+
+#: Sentinel owner identifier meaning "memory is the owner" in directory state.
+MEMORY_OWNER: int = -1

@@ -1,0 +1,28 @@
+"""Shared building blocks: units, constants, configs, counters, LFSR, stats."""
+
+from .config import AdaptiveConfig, LatencyConfig, ProtocolName, SystemConfig
+from .counters import SignedSaturatingCounter, UnsignedSaturatingCounter
+from .lfsr import LinearFeedbackShiftRegister
+from .stats import Counter, Histogram, RunningMean, StatsRegistry
+from .units import (
+    bytes_per_cycle_to_mb_per_second,
+    mb_per_second_to_bytes_per_cycle,
+    transfer_cycles,
+)
+
+__all__ = [
+    "AdaptiveConfig",
+    "LatencyConfig",
+    "ProtocolName",
+    "SystemConfig",
+    "SignedSaturatingCounter",
+    "UnsignedSaturatingCounter",
+    "LinearFeedbackShiftRegister",
+    "Counter",
+    "Histogram",
+    "RunningMean",
+    "StatsRegistry",
+    "bytes_per_cycle_to_mb_per_second",
+    "mb_per_second_to_bytes_per_cycle",
+    "transfer_cycles",
+]

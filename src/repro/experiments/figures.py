@@ -1,0 +1,343 @@
+"""Per-figure experiment drivers.
+
+Each ``figure_*`` function regenerates the data behind one figure or table of
+the paper's evaluation and returns it as plain Python structures (dicts and
+lists) so that tests, benchmarks and the example scripts can all consume it.
+The mapping from paper artefact to function:
+
+========  ==========================================================
+Figure 1  ``figure1_microbenchmark_performance`` (absolute curves)
+Figure 2  ``figure2_queueing_delay``
+Figure 3  ``figure3_utilization_counter``
+Figure 4  ``figure4_transaction_walkthrough``
+Figure 5  ``figure5_normalized_performance``
+Figure 6  ``figure6_link_utilization``
+Figure 7  ``figure7_threshold_sensitivity``
+Figure 8  ``figure8_system_size``
+Figure 9  ``figure9_think_time``
+Figure 10 ``figure10_workloads``
+Figure 11 ``figure11_workloads_4x_broadcast``
+Figure 12 ``figure12_workload_bars``
+Table 1   ``table1_complexity``
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..common.config import ProtocolName, SystemConfig
+from ..coherence.state import MOSIState
+from ..interconnect.message import MessageType
+from ..protocols.bash.adaptive import utilization_counter_trace
+from ..protocols.complexity import PAPER_TABLE_1, complexity_table
+from ..queueing.mva import delay_versus_utilization
+from ..system.multiprocessor import MultiprocessorSystem
+from ..workloads.base import MemoryOperation
+from ..workloads.presets import WORKLOAD_ORDER
+from ..workloads.trace import TraceWorkload
+from .runner import (
+    PROTOCOLS,
+    QUICK,
+    ExperimentScale,
+    SweepPoint,
+    microbenchmark_factory,
+    normalize_to,
+    protocol_sweep,
+    run_point,
+    synthetic_factory,
+)
+
+Curves = Dict[ProtocolName, List[SweepPoint]]
+
+
+# --------------------------------------------------------------------- Fig 1/5
+
+
+def figure1_microbenchmark_performance(
+    scale: ExperimentScale = QUICK,
+    bandwidths: Optional[Sequence[float]] = None,
+    num_processors: Optional[int] = None,
+) -> Curves:
+    """Performance vs available bandwidth for the locking microbenchmark."""
+    return protocol_sweep(
+        scale,
+        bandwidths or scale.bandwidth_points,
+        microbenchmark_factory(scale),
+        num_processors=num_processors,
+    )
+
+
+def figure5_normalized_performance(
+    curves: Optional[Curves] = None, scale: ExperimentScale = QUICK
+) -> Dict[ProtocolName, List[float]]:
+    """The Figure 1 data normalised to BASH (Figure 5)."""
+    if curves is None:
+        curves = figure1_microbenchmark_performance(scale)
+    return normalize_to(curves, ProtocolName.BASH)
+
+
+# ----------------------------------------------------------------------- Fig 2
+
+
+def figure2_queueing_delay(customers: int = 16) -> List[Dict[str, float]]:
+    """Mean queueing delay vs utilization for the closed queueing network."""
+    points = delay_versus_utilization(customers=customers)
+    return [
+        {
+            "think_time": point.think_time,
+            "utilization": point.utilization,
+            "queueing_delay": point.queueing_delay,
+        }
+        for point in points
+    ]
+
+
+# ----------------------------------------------------------------------- Fig 3
+
+
+def figure3_utilization_counter() -> Dict[str, List]:
+    """The utilization-counter walk-through of Figure 3.
+
+    The paper's example observes the link over seven cycles (busy on four of
+    them) with a 75 % target, ending at -5.
+    """
+    pattern = [False, True, True, False, True, False, True]
+    values = utilization_counter_trace(pattern)
+    return {"busy_pattern": pattern, "counter_values": values}
+
+
+# ----------------------------------------------------------------------- Fig 4
+
+
+def figure4_transaction_walkthrough(
+    bandwidth: float = 100_000.0,
+) -> Dict[str, Dict[str, float]]:
+    """Latency and message counts of the two Figure 4 transaction examples.
+
+    (a)/(b)/(c): P0 obtains exclusive access to a block owned by memory.
+    (d)/(e)/(f): P0 obtains exclusive access to a block owned by P1 with P3
+    sharing.  The bandwidth is set very high so the latencies reported are the
+    uncontended protocol latencies of Section 4.2.
+    """
+    results: Dict[str, Dict[str, float]] = {}
+    for protocol in PROTOCOLS:
+        results[f"{protocol}:memory-to-cache"] = _single_transfer(
+            protocol, bandwidth, cache_owned=False
+        )
+        results[f"{protocol}:cache-to-cache"] = _single_transfer(
+            protocol, bandwidth, cache_owned=True
+        )
+    return results
+
+
+def _single_transfer(
+    protocol: ProtocolName, bandwidth: float, cache_owned: bool
+) -> Dict[str, float]:
+    """Measure one GETM by P0, optionally after P1 takes ownership and P3 shares."""
+    config = SystemConfig(
+        num_processors=4,
+        protocol=protocol,
+        bandwidth_mb_per_second=bandwidth,
+        random_seed=1,
+    )
+    block = config.cache_block_bytes * 4  # homed at node 0
+    operations: Dict[int, List[MemoryOperation]] = {n: [] for n in range(4)}
+    if cache_owned:
+        operations[1] = [MemoryOperation(address=block, is_write=True)]
+        operations[3] = [MemoryOperation(address=block, is_write=False, think_cycles=600)]
+        operations[0] = [MemoryOperation(address=block, is_write=True, think_cycles=2000)]
+    else:
+        operations[0] = [MemoryOperation(address=block, is_write=True)]
+    system = MultiprocessorSystem(config, TraceWorkload(operations))
+    result = system.run(max_cycles=1_000_000)
+    ordered = result.stats.get("network.ordered.messages", 0)
+    unordered = result.stats.get("network.unordered.messages", 0)
+    p0_latency = 0.0
+    for name, value in result.stats.items():
+        if name == "cache0.miss_latency":
+            p0_latency = value
+    return {
+        "requester_miss_latency": p0_latency,
+        "mean_miss_latency": result.mean_miss_latency,
+        "ordered_messages": ordered,
+        "unordered_messages": unordered,
+    }
+
+
+# ----------------------------------------------------------------------- Fig 6
+
+
+def figure6_link_utilization(
+    curves: Optional[Curves] = None, scale: ExperimentScale = QUICK
+) -> Dict[ProtocolName, List[Dict[str, float]]]:
+    """Endpoint link utilization vs available bandwidth (Figure 6)."""
+    if curves is None:
+        curves = figure1_microbenchmark_performance(scale)
+    return {
+        protocol: [
+            {"bandwidth": point.x, "utilization": point.link_utilization}
+            for point in points
+        ]
+        for protocol, points in curves.items()
+    }
+
+
+# ----------------------------------------------------------------------- Fig 7
+
+
+def figure7_threshold_sensitivity(
+    scale: ExperimentScale = QUICK,
+    thresholds: Sequence[float] = (0.55, 0.75, 0.95),
+    bandwidths: Optional[Sequence[float]] = None,
+) -> Dict[float, List[SweepPoint]]:
+    """BASH performance vs bandwidth for several utilization thresholds."""
+    sweeps: Dict[float, List[SweepPoint]] = {}
+    for threshold in thresholds:
+        points = []
+        for bandwidth in bandwidths or scale.bandwidth_points:
+            points.append(
+                run_point(
+                    scale,
+                    ProtocolName.BASH,
+                    bandwidth,
+                    microbenchmark_factory(scale),
+                    threshold=threshold,
+                )
+            )
+        sweeps[threshold] = points
+    return sweeps
+
+
+# ----------------------------------------------------------------------- Fig 8
+
+
+def figure8_system_size(
+    scale: ExperimentScale = QUICK,
+    processor_counts: Optional[Sequence[int]] = None,
+    bandwidth_per_processor: float = 1600.0,
+) -> Curves:
+    """Performance per processor vs system size at fixed per-processor bandwidth."""
+    curves: Curves = {p: [] for p in PROTOCOLS}
+    for protocol in PROTOCOLS:
+        for count in processor_counts or scale.processor_counts:
+            point = run_point(
+                scale,
+                protocol,
+                bandwidth_per_processor,
+                microbenchmark_factory(scale),
+                x_value=count,
+                num_processors=count,
+            )
+            curves[protocol].append(point)
+    return curves
+
+
+# ----------------------------------------------------------------------- Fig 9
+
+
+def figure9_think_time(
+    scale: ExperimentScale = QUICK,
+    think_times: Optional[Sequence[int]] = None,
+    bandwidth: float = 1600.0,
+    num_processors: Optional[int] = None,
+) -> Curves:
+    """Average miss latency vs think time (workload intensity, Figure 9)."""
+    curves: Curves = {p: [] for p in PROTOCOLS}
+    for protocol in PROTOCOLS:
+        for think in think_times if think_times is not None else scale.think_times:
+            point = run_point(
+                scale,
+                protocol,
+                bandwidth,
+                microbenchmark_factory(scale, think_cycles=think),
+                x_value=think,
+                num_processors=num_processors,
+            )
+            curves[protocol].append(point)
+    return curves
+
+
+# ----------------------------------------------------------------- Fig 10 / 11
+
+
+def figure10_workloads(
+    scale: ExperimentScale = QUICK,
+    workloads: Sequence[str] = WORKLOAD_ORDER,
+    bandwidths: Optional[Sequence[float]] = None,
+    broadcast_cost_factor: float = 1.0,
+    include_microbenchmark: bool = True,
+) -> Dict[str, Curves]:
+    """Performance vs bandwidth for the commercial workloads (16 processors)."""
+    sweeps: Dict[str, Curves] = {}
+    points = bandwidths or scale.workload_bandwidth_points
+    if include_microbenchmark:
+        sweeps["microbenchmark"] = protocol_sweep(
+            scale,
+            points,
+            microbenchmark_factory(scale),
+            num_processors=scale.workload_processors,
+            broadcast_cost_factor=broadcast_cost_factor,
+        )
+    for name in workloads:
+        sweeps[name] = protocol_sweep(
+            scale,
+            points,
+            synthetic_factory(scale, name),
+            num_processors=scale.workload_processors,
+            broadcast_cost_factor=broadcast_cost_factor,
+            cache_capacity_blocks=4096,
+        )
+    return sweeps
+
+
+def figure11_workloads_4x_broadcast(
+    scale: ExperimentScale = QUICK,
+    workloads: Sequence[str] = WORKLOAD_ORDER,
+    bandwidths: Optional[Sequence[float]] = None,
+    include_microbenchmark: bool = True,
+) -> Dict[str, Curves]:
+    """Figure 10 repeated with a 4x broadcast bandwidth cost (larger-system proxy)."""
+    return figure10_workloads(
+        scale,
+        workloads=workloads,
+        bandwidths=bandwidths,
+        broadcast_cost_factor=4.0,
+        include_microbenchmark=include_microbenchmark,
+    )
+
+
+# ---------------------------------------------------------------------- Fig 12
+
+
+def figure12_workload_bars(
+    scale: ExperimentScale = QUICK,
+    workloads: Sequence[str] = WORKLOAD_ORDER,
+    bandwidth: float = 1600.0,
+) -> Dict[str, Dict[str, float]]:
+    """Per-workload performance at 1600 MB/s with 4x broadcast cost, vs BASH.
+
+    Returns, per workload, each protocol's performance normalised to BASH
+    (the bar chart of Figure 12).
+    """
+    sweeps = figure11_workloads_4x_broadcast(
+        scale, workloads=workloads, bandwidths=(bandwidth,), include_microbenchmark=False
+    )
+    bars: Dict[str, Dict[str, float]] = {}
+    for name, curves in sweeps.items():
+        bash_perf = curves[ProtocolName.BASH][0].performance
+        bars[name] = {
+            str(protocol): (
+                points[0].performance / bash_perf if bash_perf else 0.0
+            )
+            for protocol, points in curves.items()
+        }
+    return bars
+
+
+# --------------------------------------------------------------------- Table 1
+
+
+def table1_complexity() -> Dict[str, Dict[str, Dict[str, int]]]:
+    """This repo's protocol complexity counts alongside the published Table 1."""
+    return {"reproduction": complexity_table(), "paper": PAPER_TABLE_1}

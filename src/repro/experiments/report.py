@@ -1,0 +1,92 @@
+"""Plain-text rendering of experiment results in the style of the paper."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..common.config import ProtocolName
+from .runner import SweepPoint
+
+Curves = Dict[ProtocolName, List[SweepPoint]]
+
+
+def format_curves(
+    title: str,
+    curves: Curves,
+    x_label: str = "bandwidth (MB/s)",
+    value: str = "performance",
+) -> str:
+    """Render one figure's curves as an aligned text table."""
+    protocols = list(curves)
+    lines = [title]
+    header = f"{x_label:>20}" + "".join(f"{str(p):>14}" for p in protocols)
+    lines.append(header)
+    xs = [point.x for point in curves[protocols[0]]]
+    for index, x in enumerate(xs):
+        row = f"{x:>20.0f}"
+        for protocol in protocols:
+            point = curves[protocol][index]
+            row += f"{getattr(point, value):>14.5f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_normalized(
+    title: str,
+    normalised: Dict[ProtocolName, List[float]],
+    xs: Sequence[float],
+    x_label: str = "bandwidth (MB/s)",
+) -> str:
+    """Render normalised curves (Figure 5 style)."""
+    protocols = list(normalised)
+    lines = [title]
+    lines.append(f"{x_label:>20}" + "".join(f"{str(p):>14}" for p in protocols))
+    for index, x in enumerate(xs):
+        row = f"{x:>20.0f}"
+        for protocol in protocols:
+            row += f"{normalised[protocol][index]:>14.3f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_bars(title: str, bars: Dict[str, Dict[str, float]]) -> str:
+    """Render the Figure 12 bar data as a table."""
+    lines = [title]
+    protocols = sorted({p for row in bars.values() for p in row})
+    lines.append(f"{'workload':>16}" + "".join(f"{p:>12}" for p in protocols))
+    for workload, row in bars.items():
+        line = f"{workload:>16}"
+        for protocol in protocols:
+            line += f"{row.get(protocol, 0.0):>12.3f}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def crossover_summary(curves: Curves) -> Dict[str, float]:
+    """Summarise who wins where in a bandwidth sweep.
+
+    Reports the lowest bandwidth at which Snooping beats Directory, and how
+    BASH compares with the best static protocol at every point (the paper's
+    headline claim is that BASH is never much worse and wins in the middle).
+    """
+    snooping = curves[ProtocolName.SNOOPING]
+    directory = curves[ProtocolName.DIRECTORY]
+    bash = curves[ProtocolName.BASH]
+    crossover = None
+    for s_point, d_point in zip(snooping, directory):
+        if s_point.performance >= d_point.performance:
+            crossover = s_point.x
+            break
+    worst_ratio = 1.0
+    best_gain = 0.0
+    for s_point, d_point, b_point in zip(snooping, directory, bash):
+        best_static = max(s_point.performance, d_point.performance)
+        if best_static > 0:
+            ratio = b_point.performance / best_static
+            worst_ratio = min(worst_ratio, ratio)
+            best_gain = max(best_gain, ratio - 1.0)
+    return {
+        "snooping_beats_directory_at": crossover if crossover is not None else -1.0,
+        "bash_worst_ratio_vs_best_static": worst_ratio,
+        "bash_best_gain_over_best_static": best_gain,
+    }

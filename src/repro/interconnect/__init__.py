@@ -1,0 +1,24 @@
+"""Interconnection network substrate: links, messages, virtual networks."""
+
+from .link import EndpointLink, LinkPair
+from .message import (
+    REQUEST_TYPES,
+    DestinationUnit,
+    Message,
+    MessageType,
+)
+from .network import Interconnect
+from .ordered_network import TotallyOrderedNetwork
+from .unordered_network import UnorderedNetwork
+
+__all__ = [
+    "EndpointLink",
+    "LinkPair",
+    "Message",
+    "MessageType",
+    "DestinationUnit",
+    "REQUEST_TYPES",
+    "Interconnect",
+    "TotallyOrderedNetwork",
+    "UnorderedNetwork",
+]

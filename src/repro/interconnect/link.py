@@ -1,0 +1,134 @@
+"""Endpoint link model: finite bandwidth, FIFO occupancy, utilization tracking.
+
+The paper abstracts the interconnect as "a fixed latency crossbar with limited
+bandwidth and contention at the endpoints"; contention therefore lives entirely
+in these per-node, per-direction links.  A message of ``size`` bytes occupies
+the link for ``ceil(size / bytes_per_cycle)`` cycles and queues FIFO behind any
+message already in flight.  The same links also provide the *local utilization
+estimate* that drives BASH's adaptive mechanism and the endpoint-utilization
+curves of Figure 6.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import List
+
+from ..errors import NetworkError
+
+
+class EndpointLink:
+    """One direction (in or out) of a node's link to the interconnect."""
+
+    def __init__(self, name: str, bytes_per_cycle: float) -> None:
+        if bytes_per_cycle <= 0:
+            raise NetworkError(
+                f"link {name!r} bandwidth must be positive, got {bytes_per_cycle}"
+            )
+        self.name = name
+        self.bytes_per_cycle = bytes_per_cycle
+        self._busy_until = 0
+        self._busy_total = 0
+        self._messages = 0
+        self._bytes = 0
+        # Busy periods as merged [start, finish) segments plus a prefix-sum of
+        # the busy cycles before each segment, so busy_time_up_to() is exact
+        # for any query time (utilization windows look into the past).
+        self._segment_starts: List[int] = []
+        self._segment_finishes: List[int] = []
+        self._segment_prefix: List[int] = []
+
+    @property
+    def busy_until(self) -> int:
+        """Cycle at which the link becomes idle again."""
+        return self._busy_until
+
+    @property
+    def messages_carried(self) -> int:
+        """Number of messages transmitted over this link."""
+        return self._messages
+
+    @property
+    def bytes_carried(self) -> int:
+        """Total payload bytes carried (before any broadcast cost factor)."""
+        return self._bytes
+
+    def occupancy_cycles(self, size_bytes: int, cost_factor: float = 1.0) -> int:
+        """Cycles this link is occupied by a message of ``size_bytes``."""
+        if size_bytes <= 0:
+            raise NetworkError(f"message size must be positive, got {size_bytes}")
+        if cost_factor < 1.0:
+            raise NetworkError(f"cost factor must be >= 1, got {cost_factor}")
+        return max(1, math.ceil(size_bytes * cost_factor / self.bytes_per_cycle))
+
+    def transmit(self, now: int, size_bytes: int, cost_factor: float = 1.0) -> int:
+        """Occupy the link with a message arriving at cycle ``now``.
+
+        Returns the cycle at which transmission completes.  Messages are
+        serviced in arrival order, so a message arriving while the link is busy
+        waits until the earlier transfers finish.
+        """
+        cycles = self.occupancy_cycles(size_bytes, cost_factor)
+        start = max(now, self._busy_until)
+        finish = start + cycles
+        if self._segment_finishes and start <= self._segment_finishes[-1]:
+            # Back-to-back transfer: extend the current busy period.
+            self._segment_finishes[-1] = finish
+        else:
+            prefix = self._busy_total
+            self._segment_starts.append(start)
+            self._segment_finishes.append(finish)
+            self._segment_prefix.append(prefix)
+        self._busy_until = finish
+        self._busy_total += cycles
+        self._messages += 1
+        self._bytes += size_bytes
+        return finish
+
+    def busy_time_up_to(self, time: int) -> int:
+        """Total busy cycles in ``[0, time)``, exact for any query time."""
+        if not self._segment_starts:
+            return 0
+        index = bisect.bisect_right(self._segment_starts, time) - 1
+        if index < 0:
+            return 0
+        start = self._segment_starts[index]
+        finish = self._segment_finishes[index]
+        return self._segment_prefix[index] + max(0, min(finish, time) - start)
+
+    def utilization(self, window_start: int, window_end: int) -> float:
+        """Fraction of cycles busy within ``[window_start, window_end)``."""
+        if window_end <= window_start:
+            return 0.0
+        busy = self.busy_time_up_to(window_end) - self.busy_time_up_to(window_start)
+        return min(1.0, busy / (window_end - window_start))
+
+
+class LinkPair:
+    """The incoming and outgoing halves of one node's endpoint link."""
+
+    def __init__(self, node_id: int, bytes_per_cycle: float) -> None:
+        self.node_id = node_id
+        self.outgoing = EndpointLink(f"node{node_id}.out", bytes_per_cycle)
+        self.incoming = EndpointLink(f"node{node_id}.in", bytes_per_cycle)
+
+    def utilization(self, window_start: int, window_end: int) -> float:
+        """Local utilization estimate: the busier of the two directions.
+
+        The paper's mechanism samples "the utilization of its link to the
+        interconnection network"; taking the bottleneck direction makes the
+        estimate sensitive both to broadcast floods (incoming) and to data
+        response pressure (outgoing).
+        """
+        return max(
+            self.incoming.utilization(window_start, window_end),
+            self.outgoing.utilization(window_start, window_end),
+        )
+
+    def busy_time_up_to(self, time: int) -> int:
+        """Bottleneck-direction busy cycles in ``[0, time)``."""
+        return max(
+            self.incoming.busy_time_up_to(time),
+            self.outgoing.busy_time_up_to(time),
+        )

@@ -1,0 +1,123 @@
+"""Coherence messages exchanged over the interconnect.
+
+Message kinds cover all three protocols:
+
+* ``GETS`` / ``GETM`` / ``PUTM`` coherence requests (broadcast, multicast,
+  dualcast or unicast depending on the protocol),
+* ``FWD_GETS`` / ``FWD_GETM`` requests forwarded by the Directory protocol's
+  home node on its totally ordered multicast network,
+* ``MARKER`` messages that tell a Directory requester where its request falls
+  in the total order,
+* ``DATA`` responses carrying the cache block,
+* ``WB_DATA`` / ``WB_SQUASH`` writeback resolution messages,
+* ``PUT_ACK`` / ``PUT_NACK`` directory writeback acknowledgements, and
+* ``NACK``, used by the BASH memory controller to resolve potential deadlock
+  when its retry buffer is full (the requester then reissues as a broadcast).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import FrozenSet, Optional
+
+
+class MessageType(Enum):
+    """Kinds of protocol messages."""
+
+    GETS = "GETS"
+    GETM = "GETM"
+    PUTM = "PUTM"
+    FWD_GETS = "FWD_GETS"
+    FWD_GETM = "FWD_GETM"
+    MARKER = "MARKER"
+    DATA = "DATA"
+    WB_DATA = "WB_DATA"
+    WB_SQUASH = "WB_SQUASH"
+    PUT_ACK = "PUT_ACK"
+    PUT_NACK = "PUT_NACK"
+    NACK = "NACK"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Message types that are coherence requests (travel on the request network).
+REQUEST_TYPES = frozenset(
+    {MessageType.GETS, MessageType.GETM, MessageType.PUTM}
+)
+
+#: Message types forwarded by a directory.
+FORWARD_TYPES = frozenset({MessageType.FWD_GETS, MessageType.FWD_GETM})
+
+
+class DestinationUnit(Enum):
+    """Which controller inside a node a point-to-point message targets."""
+
+    CACHE = "cache"
+    MEMORY = "memory"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_message_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One message travelling over the interconnect.
+
+    ``order_seq`` is assigned by the totally ordered network when the message
+    enters the switch fabric and is ``None`` for messages on the unordered
+    network.  ``transaction_id`` ties responses, retries, markers and nacks
+    back to the coherence transaction that created them.
+    """
+
+    msg_type: MessageType
+    src: int
+    address: int
+    size_bytes: int
+    requester: int
+    dest: Optional[int] = None
+    dest_unit: DestinationUnit = DestinationUnit.CACHE
+    recipients: FrozenSet[int] = frozenset()
+    transaction_id: int = -1
+    is_broadcast: bool = False
+    is_retry: bool = False
+    retry_count: int = 0
+    original_type: Optional[MessageType] = None
+    order_seq: Optional[int] = None
+    data_token: int = 0
+    issue_time: int = 0
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    @property
+    def request_kind(self) -> MessageType:
+        """The underlying request type, unwrapping forwarded requests."""
+        if self.msg_type is MessageType.FWD_GETS:
+            return MessageType.GETS
+        if self.msg_type is MessageType.FWD_GETM:
+            return MessageType.GETM
+        if self.original_type is not None:
+            return self.original_type
+        return self.msg_type
+
+    def copy_for_retry(self, recipients: FrozenSet[int], broadcast: bool) -> "Message":
+        """A retried version of this request with a new recipient set."""
+        return replace(
+            self,
+            recipients=recipients,
+            is_retry=True,
+            retry_count=self.retry_count + 1,
+            is_broadcast=broadcast,
+            order_seq=None,
+            msg_id=next(_message_ids),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message({self.msg_type}, addr=0x{self.address:x}, req=P{self.requester}, "
+            f"src=P{self.src}, seq={self.order_seq}, retry={self.retry_count})"
+        )

@@ -1,0 +1,94 @@
+"""Interconnect facade: endpoint links plus the two virtual networks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable
+
+from ..common.config import SystemConfig
+from ..common.stats import StatsRegistry
+from ..errors import NetworkError
+from ..sim.scheduler import Scheduler
+from .link import LinkPair
+from .message import Message
+from .ordered_network import OrderedHandler, TotallyOrderedNetwork
+from .unordered_network import UnorderedHandler, UnorderedNetwork
+
+
+class Interconnect:
+    """Endpoint links shared by a totally ordered and an unordered network.
+
+    One instance models the whole machine's interconnect: ``num_nodes`` link
+    pairs (contention at the endpoints), a totally ordered request network, and
+    an unordered response network with the same fixed traversal latency.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        scheduler: Scheduler,
+        stats: StatsRegistry,
+    ) -> None:
+        self.config = config
+        self.scheduler = scheduler
+        self.stats = stats
+        self.num_nodes = config.num_processors
+        bytes_per_cycle = config.bytes_per_cycle
+        self.links: Dict[int, LinkPair] = {
+            node_id: LinkPair(node_id, bytes_per_cycle)
+            for node_id in range(self.num_nodes)
+        }
+        self.ordered = TotallyOrderedNetwork(
+            scheduler,
+            self.links,
+            config.latency.network_traversal,
+            stats,
+            broadcast_cost_factor=config.broadcast_cost_factor,
+        )
+        self.unordered = UnorderedNetwork(
+            scheduler,
+            self.links,
+            config.latency.network_traversal,
+            stats,
+        )
+
+    @property
+    def all_nodes(self) -> FrozenSet[int]:
+        """The full set of node identifiers (a broadcast destination)."""
+        return frozenset(range(self.num_nodes))
+
+    def register_node(
+        self,
+        node_id: int,
+        ordered_handler: OrderedHandler,
+        unordered_handler: UnorderedHandler,
+    ) -> None:
+        """Attach a node's delivery handlers to both virtual networks."""
+        if node_id not in self.links:
+            raise NetworkError(f"node {node_id} is outside this interconnect")
+        self.ordered.register(node_id, ordered_handler)
+        self.unordered.register(node_id, unordered_handler)
+
+    def send_ordered(self, message: Message, recipients: Iterable[int]) -> None:
+        """Send a request on the totally ordered network."""
+        self.ordered.send(message, frozenset(recipients))
+
+    def broadcast(self, message: Message) -> None:
+        """Send a request to every node on the totally ordered network."""
+        self.ordered.send(message, self.all_nodes)
+
+    def send_unordered(self, message: Message) -> None:
+        """Send a point-to-point message on the unordered network."""
+        self.unordered.send(message)
+
+    def link_utilization(self, node_id: int, window_start: int, window_end: int) -> float:
+        """Local endpoint-link utilization of ``node_id`` over a window."""
+        return self.links[node_id].utilization(window_start, window_end)
+
+    def mean_endpoint_utilization(self, window_start: int, window_end: int) -> float:
+        """Average endpoint-link utilization across all nodes (Figure 6)."""
+        if not self.links:
+            return 0.0
+        total = sum(
+            pair.utilization(window_start, window_end) for pair in self.links.values()
+        )
+        return total / len(self.links)

@@ -1,0 +1,116 @@
+"""The totally ordered request network.
+
+All three protocols rely on a totally ordered virtual network: Snooping and
+BASH order their requests on it, and Directory uses it for forwarded requests
+and markers.  The model is the paper's abstraction: a fixed-latency crossbar
+with a single logical ordering point.  A message
+
+1. occupies the sender's outgoing endpoint link (FIFO, finite bandwidth),
+2. enters the switch and is assigned a global order sequence number,
+3. traverses the crossbar in a fixed number of cycles, and
+4. occupies each recipient's incoming endpoint link before being delivered.
+
+Because every recipient's incoming link is FIFO and arrivals are scheduled in
+global order, every node observes the same total order of requests — the
+property the protocols depend on to avoid explicit acknowledgements.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet
+
+from ..common.stats import StatsRegistry
+from ..errors import NetworkError
+from ..sim.scheduler import Scheduler
+from .link import LinkPair
+from .message import Message
+
+#: Signature of a node's handler for ordered (request network) deliveries.
+OrderedHandler = Callable[[Message], None]
+
+
+class TotallyOrderedNetwork:
+    """Broadcast/multicast-capable, totally ordered virtual network."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        links: Dict[int, LinkPair],
+        traversal_cycles: int,
+        stats: StatsRegistry,
+        broadcast_cost_factor: float = 1.0,
+    ) -> None:
+        if traversal_cycles < 0:
+            raise NetworkError(
+                f"traversal_cycles must be non-negative, got {traversal_cycles}"
+            )
+        self.scheduler = scheduler
+        self.links = links
+        self.traversal_cycles = traversal_cycles
+        self.stats = stats
+        self.broadcast_cost_factor = broadcast_cost_factor
+        self._handlers: Dict[int, OrderedHandler] = {}
+        self._order_sequence = 0
+
+    @property
+    def next_order_sequence(self) -> int:
+        """The sequence number the next ordered message will receive."""
+        return self._order_sequence
+
+    def register(self, node_id: int, handler: OrderedHandler) -> None:
+        """Register the delivery handler for ``node_id``."""
+        if node_id not in self.links:
+            raise NetworkError(f"node {node_id} has no endpoint link")
+        self._handlers[node_id] = handler
+
+    def send(self, message: Message, recipients: FrozenSet[int]) -> None:
+        """Inject ``message`` destined for ``recipients`` (which may be all nodes)."""
+        if not recipients:
+            raise NetworkError("ordered send requires at least one recipient")
+        unknown = recipients - set(self.links)
+        if unknown:
+            raise NetworkError(f"unknown recipients {sorted(unknown)}")
+        message.recipients = frozenset(recipients)
+        message.is_broadcast = len(recipients) == len(self.links)
+        cost_factor = (
+            self.broadcast_cost_factor if message.is_broadcast else 1.0
+        )
+        out_link = self.links[message.src].outgoing
+        injection_time = out_link.transmit(
+            self.scheduler.now, message.size_bytes, cost_factor
+        )
+        self.stats.counter("network.ordered.messages").increment()
+        if message.is_broadcast:
+            self.stats.counter("network.ordered.broadcasts").increment()
+        else:
+            self.stats.counter("network.ordered.multicasts").increment()
+        self.scheduler.schedule_at(
+            injection_time,
+            lambda: self._enter_switch(message, cost_factor),
+            label=f"ordered-inject:{message.msg_type}",
+        )
+
+    def _enter_switch(self, message: Message, cost_factor: float) -> None:
+        """Assign the total-order sequence number and fan the message out."""
+        message.order_seq = self._order_sequence
+        self._order_sequence += 1
+        exit_time = self.scheduler.now + self.traversal_cycles
+        for node_id in sorted(message.recipients):
+            self.scheduler.schedule_at(
+                exit_time,
+                lambda nid=node_id: self._arrive(message, nid, cost_factor),
+                label=f"ordered-arrive:{message.msg_type}:n{node_id}",
+            )
+
+    def _arrive(self, message: Message, node_id: int, cost_factor: float) -> None:
+        """Queue the message on the recipient's incoming link, then deliver."""
+        in_link = self.links[node_id].incoming
+        done = in_link.transmit(self.scheduler.now, message.size_bytes, cost_factor)
+        handler = self._handlers.get(node_id)
+        if handler is None:
+            raise NetworkError(f"no ordered handler registered for node {node_id}")
+        self.scheduler.schedule_at(
+            done,
+            lambda: handler(message),
+            label=f"ordered-deliver:{message.msg_type}:n{node_id}",
+        )

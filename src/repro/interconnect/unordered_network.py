@@ -1,0 +1,86 @@
+"""The unordered point-to-point virtual network.
+
+Data responses (and, in the Directory protocol, the unicast requests sent to
+the home node) travel on this network.  It shares the endpoint links with the
+ordered network — the paper models one link per node — but imposes no ordering
+beyond the FIFO behaviour of each individual link.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..common.stats import StatsRegistry
+from ..errors import NetworkError
+from ..sim.scheduler import Scheduler
+from .link import LinkPair
+from .message import Message
+
+#: Signature of a node's handler for unordered (point-to-point) deliveries.
+UnorderedHandler = Callable[[Message], None]
+
+
+class UnorderedNetwork:
+    """Point-to-point virtual network with fixed traversal latency."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        links: Dict[int, LinkPair],
+        traversal_cycles: int,
+        stats: StatsRegistry,
+    ) -> None:
+        if traversal_cycles < 0:
+            raise NetworkError(
+                f"traversal_cycles must be non-negative, got {traversal_cycles}"
+            )
+        self.scheduler = scheduler
+        self.links = links
+        self.traversal_cycles = traversal_cycles
+        self.stats = stats
+        self._handlers: Dict[int, UnorderedHandler] = {}
+
+    def register(self, node_id: int, handler: UnorderedHandler) -> None:
+        """Register the delivery handler for ``node_id``."""
+        if node_id not in self.links:
+            raise NetworkError(f"node {node_id} has no endpoint link")
+        self._handlers[node_id] = handler
+
+    def send(self, message: Message) -> None:
+        """Send ``message`` from ``message.src`` to ``message.dest``."""
+        if message.dest is None:
+            raise NetworkError("unordered send requires a destination")
+        if message.dest not in self.links:
+            raise NetworkError(f"unknown destination node {message.dest}")
+        if message.src not in self.links:
+            raise NetworkError(f"unknown source node {message.src}")
+        out_link = self.links[message.src].outgoing
+        injection_time = out_link.transmit(self.scheduler.now, message.size_bytes)
+        self.stats.counter("network.unordered.messages").increment()
+        self.scheduler.schedule_at(
+            injection_time,
+            lambda: self._traverse(message),
+            label=f"unordered-inject:{message.msg_type}",
+        )
+
+    def _traverse(self, message: Message) -> None:
+        """Cross the switch fabric and queue on the destination's link."""
+        arrival_time = self.scheduler.now + self.traversal_cycles
+        self.scheduler.schedule_at(
+            arrival_time,
+            lambda: self._arrive(message),
+            label=f"unordered-arrive:{message.msg_type}",
+        )
+
+    def _arrive(self, message: Message) -> None:
+        """Occupy the destination's incoming link, then deliver."""
+        in_link = self.links[message.dest].incoming
+        done = in_link.transmit(self.scheduler.now, message.size_bytes)
+        handler = self._handlers.get(message.dest)
+        if handler is None:
+            raise NetworkError(f"no unordered handler registered for node {message.dest}")
+        self.scheduler.schedule_at(
+            done,
+            lambda: handler(message),
+            label=f"unordered-deliver:{message.msg_type}:n{message.dest}",
+        )

@@ -1,0 +1,28 @@
+"""Coherence protocols: Snooping, Directory, and the BASH hybrid."""
+
+from .base import CacheControllerBase, MemoryControllerBase
+from .bash.adaptive import BandwidthAdaptiveMechanism
+from .bash.cache_controller import BashCacheController
+from .bash.memory_controller import BashMemoryController
+from .complexity import complexity_table, format_table, protocol_specs
+from .directory.cache_controller import DirectoryCacheController
+from .directory.memory_controller import DirectoryMemoryController
+from .factory import create_controllers
+from .snooping.cache_controller import SnoopingCacheController
+from .snooping.memory_controller import SnoopingMemoryController
+
+__all__ = [
+    "CacheControllerBase",
+    "MemoryControllerBase",
+    "BandwidthAdaptiveMechanism",
+    "BashCacheController",
+    "BashMemoryController",
+    "DirectoryCacheController",
+    "DirectoryMemoryController",
+    "SnoopingCacheController",
+    "SnoopingMemoryController",
+    "create_controllers",
+    "complexity_table",
+    "format_table",
+    "protocol_specs",
+]

@@ -1,0 +1,286 @@
+"""Shared machinery for the Snooping, Directory and BASH controllers.
+
+Each node owns one :class:`CacheControllerBase` subclass (driven by the
+processor's sequencer) and one :class:`MemoryControllerBase` subclass (the home
+for a slice of the interleaved physical memory).  The base classes provide the
+pieces the paper's protocols have in common: MSHR bookkeeping, data responses
+with the published latencies, block stores, directory stores, and the
+statistics every experiment reports (miss latency, sharing misses, message
+counts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..common.config import SystemConfig
+from ..common.stats import StatsRegistry
+from ..coherence.cache_state import CacheBlockStore
+from ..coherence.directory import DirectoryStore
+from ..coherence.state import MOSIState
+from ..coherence.transaction import CompletionCallback, Transaction
+from ..errors import ProtocolError
+from ..interconnect.message import DestinationUnit, Message, MessageType
+from ..interconnect.network import Interconnect
+from ..sim.component import Component
+from ..sim.scheduler import Scheduler
+
+
+class CacheControllerBase(Component):
+    """Common cache-side behaviour: MSHRs, completion, data responses."""
+
+    def __init__(
+        self,
+        node_id: int,
+        config: SystemConfig,
+        interconnect: Interconnect,
+        scheduler: Scheduler,
+        stats: StatsRegistry,
+    ) -> None:
+        super().__init__(f"cache{node_id}", scheduler, stats)
+        self.node_id = node_id
+        self.config = config
+        self.interconnect = interconnect
+        self.blocks = CacheBlockStore(config.cache_capacity_blocks)
+        self.transactions: Dict[int, Transaction] = {}
+        self.writebacks: Dict[int, Transaction] = {}
+
+    # ------------------------------------------------------------------ API
+
+    def state_of(self, address: int) -> MOSIState:
+        """Stable MOSI state of ``address`` in this cache."""
+        return self.blocks.state_of(address)
+
+    def has_outstanding(self, address: int) -> bool:
+        """True when a request or writeback for ``address`` is in flight."""
+        return address in self.transactions or address in self.writebacks
+
+    def outstanding_count(self) -> int:
+        """Number of in-flight transactions (requests plus writebacks)."""
+        return len(self.transactions) + len(self.writebacks)
+
+    def issue_request(
+        self,
+        address: int,
+        kind: MessageType,
+        callback: Optional[CompletionCallback] = None,
+        store_token: int = 0,
+    ) -> Transaction:
+        """Start a GETS or GETM transaction for ``address``.
+
+        The caller must not have another request outstanding for the same
+        address; the processor model in the paper is blocking with one
+        outstanding request, which the sequencer enforces.
+        """
+        if kind not in (MessageType.GETS, MessageType.GETM):
+            raise ProtocolError(f"issue_request only accepts GETS/GETM, got {kind}")
+        if address in self.transactions:
+            raise ProtocolError(
+                f"node {self.node_id} already has a request outstanding for "
+                f"address 0x{address:x}"
+            )
+        state = self.state_of(address)
+        if kind is MessageType.GETS and state.has_valid_data:
+            raise ProtocolError(
+                f"GETS issued for address 0x{address:x} already valid ({state})"
+            )
+        if kind is MessageType.GETM and state.can_write:
+            raise ProtocolError(
+                f"GETM issued for address 0x{address:x} already writable ({state})"
+            )
+        transaction = Transaction(
+            address=address,
+            kind=kind,
+            requester=self.node_id,
+            issue_time=self.now,
+            store_token=store_token,
+            completion_callback=callback,
+        )
+        self.transactions[address] = transaction
+        self.count("requests")
+        if kind is MessageType.GETM:
+            self.count("requests.getm")
+        else:
+            self.count("requests.gets")
+        self._send_request(transaction)
+        return transaction
+
+    def issue_writeback(
+        self, address: int, callback: Optional[CompletionCallback] = None
+    ) -> Transaction:
+        """Start a PUTM transaction writing an owned block back to memory."""
+        state = self.state_of(address)
+        if not state.is_owner:
+            raise ProtocolError(
+                f"writeback issued for address 0x{address:x} not owned ({state})"
+            )
+        if address in self.writebacks:
+            raise ProtocolError(
+                f"node {self.node_id} already has a writeback outstanding for "
+                f"address 0x{address:x}"
+            )
+        transaction = Transaction(
+            address=address,
+            kind=MessageType.PUTM,
+            requester=self.node_id,
+            issue_time=self.now,
+            expects_data=False,
+            completion_callback=callback,
+        )
+        self.writebacks[address] = transaction
+        self.count("writebacks")
+        self._send_writeback(transaction)
+        return transaction
+
+    # ------------------------------------------------------- protocol hooks
+
+    def _send_request(self, transaction: Transaction) -> None:
+        """Put the request on the network (protocol specific)."""
+        raise NotImplementedError
+
+    def _send_writeback(self, transaction: Transaction) -> None:
+        """Put the writeback on the network (protocol specific)."""
+        raise NotImplementedError
+
+    def handle_ordered(self, message: Message) -> None:
+        """Process a message delivered by the totally ordered network."""
+        raise NotImplementedError
+
+    def handle_unordered(self, message: Message) -> None:
+        """Process a message delivered by the unordered network."""
+        raise NotImplementedError
+
+    # --------------------------------------------------------------- helpers
+
+    def home_of(self, address: int) -> int:
+        """Home node for ``address``."""
+        return self.config.home_node(address)
+
+    def _send_data(
+        self,
+        address: int,
+        dest: int,
+        data_token: int,
+        transaction_id: int,
+        from_memory: bool = False,
+    ) -> None:
+        """Send a data response after the appropriate lookup latency."""
+        latency = (
+            self.config.latency.dram_access
+            if from_memory
+            else self.config.latency.cache_response
+        )
+        message = Message(
+            msg_type=MessageType.DATA,
+            src=self.node_id,
+            dest=dest,
+            dest_unit=DestinationUnit.CACHE,
+            address=address,
+            size_bytes=self.config.data_message_bytes,
+            requester=dest,
+            transaction_id=transaction_id,
+            data_token=data_token,
+            issue_time=self.now,
+        )
+        self.count("data_responses")
+        self.schedule(
+            latency,
+            lambda: self.interconnect.send_unordered(message),
+            "data-response",
+        )
+
+    def _complete(self, transaction: Transaction) -> None:
+        """Mark a transaction complete and notify its issuer."""
+        if transaction.completed:
+            return
+        transaction.completed = True
+        transaction.completion_time = self.now
+        if transaction.kind is MessageType.PUTM:
+            self.writebacks.pop(transaction.address, None)
+        else:
+            self.transactions.pop(transaction.address, None)
+            latency = transaction.latency or 0
+            self.record("miss_latency", latency)
+            self.stats.running_mean("system.miss_latency").record(latency)
+        if transaction.completion_callback is not None:
+            transaction.completion_callback(transaction)
+
+
+class MemoryControllerBase(Component):
+    """Common memory-side behaviour: directory store and data responses."""
+
+    def __init__(
+        self,
+        node_id: int,
+        config: SystemConfig,
+        interconnect: Interconnect,
+        scheduler: Scheduler,
+        stats: StatsRegistry,
+    ) -> None:
+        super().__init__(f"memory{node_id}", scheduler, stats)
+        self.node_id = node_id
+        self.config = config
+        self.interconnect = interconnect
+        self.directory = DirectoryStore()
+
+    def is_home_for(self, address: int) -> bool:
+        """True when this controller is the home for ``address``."""
+        return self.config.home_node(address) == self.node_id
+
+    def handle_ordered(self, message: Message) -> None:
+        """Process a message delivered by the totally ordered network."""
+        raise NotImplementedError
+
+    def handle_unordered(self, message: Message) -> None:
+        """Process a message delivered by the unordered network."""
+        raise NotImplementedError
+
+    def _send_data(
+        self, address: int, dest: int, data_token: int, transaction_id: int
+    ) -> None:
+        """Send a data response after the DRAM access latency."""
+        message = Message(
+            msg_type=MessageType.DATA,
+            src=self.node_id,
+            dest=dest,
+            dest_unit=DestinationUnit.CACHE,
+            address=address,
+            size_bytes=self.config.data_message_bytes,
+            requester=dest,
+            transaction_id=transaction_id,
+            data_token=data_token,
+            issue_time=self.now,
+        )
+        self.count("data_responses")
+        self.schedule(
+            self.config.latency.dram_access,
+            lambda: self.interconnect.send_unordered(message),
+            "memory-data",
+        )
+
+    def _send_control(
+        self,
+        msg_type: MessageType,
+        dest: int,
+        address: int,
+        transaction_id: int,
+        dest_unit: DestinationUnit = DestinationUnit.CACHE,
+        delay: int = 0,
+    ) -> None:
+        """Send a small control message (ack, nack, marker) point-to-point."""
+        message = Message(
+            msg_type=msg_type,
+            src=self.node_id,
+            dest=dest,
+            dest_unit=dest_unit,
+            address=address,
+            size_bytes=self.config.request_message_bytes,
+            requester=dest,
+            transaction_id=transaction_id,
+            issue_time=self.now,
+        )
+        self.schedule(
+            delay,
+            lambda: self.interconnect.send_unordered(message),
+            f"control-{msg_type}",
+        )

@@ -1,0 +1,13 @@
+"""Bandwidth Adaptive Snooping Hybrid (BASH): the paper's contribution."""
+
+from .adaptive import AdaptiveSample, BandwidthAdaptiveMechanism, utilization_counter_trace
+from .cache_controller import BashCacheController
+from .memory_controller import BashMemoryController
+
+__all__ = [
+    "AdaptiveSample",
+    "BandwidthAdaptiveMechanism",
+    "utilization_counter_trace",
+    "BashCacheController",
+    "BashMemoryController",
+]

@@ -1,0 +1,153 @@
+"""Cache controller for the Bandwidth Adaptive Snooping Hybrid (Section 3.3).
+
+From the requester's point of view BASH behaves like Snooping, except that the
+cache controller chooses, per request, whether to broadcast or to "unicast".
+A BASH unicast is really a dualcast — the request goes to the home node and
+back to the requester, whose returning copy acts as its marker.  Writebacks are
+always dualcast.  Responses to incoming requests are identical to Snooping,
+with two additions from footnote 2 and Section 3.3 of the paper:
+
+* an owner cache tracks its own sharer set and judges the *sufficiency* of a
+  non-broadcast GETM exactly as the memory controller does, and
+* a requester must recognise retried versions of its own request (issued by
+  the memory controller when the original recipient set was insufficient) and
+  treat the retry's position in the total order as its effective marker; if
+  the memory controller nacks instead (its retry buffer was full), the
+  requester reissues the request as a broadcast, which always succeeds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...coherence.block import CacheBlock
+from ...coherence.transaction import Transaction
+from ...errors import ProtocolError
+from ...interconnect.message import Message, MessageType
+from ..snooping.cache_controller import SnoopingCacheController
+from .adaptive import BandwidthAdaptiveMechanism
+
+
+class BashCacheController(SnoopingCacheController):
+    """Hybrid cache controller: snooping behaviour, adaptive request fan-out."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        adaptive_config = self.config.adaptive
+        # Seed each node's LFSR differently so the fleet does not make
+        # lock-step decisions, while staying deterministic per configuration.
+        seed = (adaptive_config.lfsr_seed + 0x9E37 * (self.node_id + 1)) & 0xFFFF
+        if seed == 0:
+            seed = 0xACE1
+        self.adaptive = BandwidthAdaptiveMechanism(adaptive_config, lfsr_seed=seed)
+        self._window_start = 0
+        self._schedule_sampling()
+
+    # ----------------------------------------------------------- adaptation
+
+    def _schedule_sampling(self) -> None:
+        interval = self.config.adaptive.sampling_interval
+        self.schedule(interval, self._sample_utilization, "adaptive-sample")
+
+    def _sample_utilization(self) -> None:
+        """End one sampling interval: read the local link and update counters."""
+        now = self.now
+        window_start = self._window_start
+        link = self.interconnect.links[self.node_id]
+        utilization = link.utilization(window_start, now)
+        busy = int(round(utilization * (now - window_start)))
+        idle = max(0, (now - window_start) - busy)
+        self.adaptive.observe_cycles(busy, idle)
+        self.adaptive.sample(time=now, utilization=utilization)
+        self.record("link_utilization", utilization)
+        self.stats.running_mean("system.link_utilization").record(utilization)
+        self.stats.running_mean("system.unicast_probability").record(
+            self.adaptive.unicast_probability
+        )
+        self._window_start = now
+        self._schedule_sampling()
+
+    # -------------------------------------------------------------- sending
+
+    def _request_recipients(self, transaction: Transaction) -> frozenset:
+        """Broadcast or dualcast according to the adaptive mechanism."""
+        if self.adaptive.should_broadcast():
+            transaction.was_broadcast = True
+            self.count("broadcast_decisions")
+            self.stats.counter("system.broadcast_decisions").increment()
+            return self.interconnect.all_nodes
+        transaction.was_broadcast = False
+        self.count("unicast_decisions")
+        self.stats.counter("system.unicast_decisions").increment()
+        home = self.home_of(transaction.address)
+        return frozenset({home, self.node_id})
+
+    def _writeback_recipients(self, transaction: Transaction) -> frozenset:
+        """Writeback requests are always unicast (dualcast home + requester)."""
+        home = self.home_of(transaction.address)
+        return frozenset({home, self.node_id})
+
+    # -------------------------------------------------------- sufficiency
+
+    def _own_request_sufficient(
+        self, transaction: Transaction, block: CacheBlock, message: Message
+    ) -> bool:
+        """Owner-side sufficiency check for our own upgrade request.
+
+        We only reach this when we already own the block (an upgrade from O):
+        the request succeeds at this point in the total order only if every
+        sharer we track received it, which is exactly the decision the memory
+        controller makes from its directory (footnote 2 of the paper).
+        """
+        needed = set(block.tracked_sharers)
+        needed.discard(self.node_id)
+        return needed.issubset(message.recipients)
+
+    def _owner_getm_sufficient(self, block: CacheBlock, message: Message) -> bool:
+        """Owner-side sufficiency check for another node's GETM."""
+        if message.is_broadcast:
+            return True
+        needed = set(block.tracked_sharers)
+        needed.discard(message.requester)
+        needed.discard(self.node_id)
+        return needed.issubset(message.recipients)
+
+    # ------------------------------------------------------ unordered extras
+
+    def handle_unordered(self, message: Message) -> None:
+        """Handle data responses plus the BASH deadlock-resolution nack."""
+        if message.msg_type is MessageType.NACK:
+            self._handle_nack(message)
+            return
+        super().handle_unordered(message)
+
+    def _handle_nack(self, message: Message) -> None:
+        """The memory controller could not buffer a retry: reissue as broadcast."""
+        transaction = self._matching_transaction(message)
+        if transaction is None:
+            self.count("stale_nacks")
+            return
+        transaction.nacked = True
+        transaction.reissued_as_broadcast = True
+        transaction.was_broadcast = True
+        self.count("nacks")
+        self.stats.counter("system.nacks").increment()
+        reissue = self._build_request_message(transaction, transaction.kind)
+        self.interconnect.send_ordered(reissue, self.interconnect.all_nodes)
+
+    def _matching_transaction(self, message: Message) -> Optional[Transaction]:
+        transaction = self.transactions.get(message.address)
+        if (
+            transaction is None
+            or transaction.completed
+            or transaction.transaction_id != message.transaction_id
+        ):
+            return None
+        return transaction
+
+    # ---------------------------------------------------------------- checks
+
+    def _handle_own_request(self, message: Message) -> None:
+        if message.msg_type is MessageType.PUTM and message.is_retry:
+            raise ProtocolError("writebacks are never retried in BASH")
+        super()._handle_own_request(message)

@@ -1,0 +1,148 @@
+"""Declarative specification of the BASH hybrid protocol.
+
+BASH extends the Snooping cache controller with the events introduced by
+non-broadcast requests — retried versions of a node's own request, observed
+requests whose recipient set was insufficient, and the deadlock-resolution
+nack — and extends the memory controller with the directory states and the
+sufficiency/retry events.  As the paper's Table 1 reports, the hybrid ends up
+with a comparable number of states but roughly 50% more events and about twice
+the transitions of either underlying protocol.
+"""
+
+from __future__ import annotations
+
+from ..spec import ControllerSpec, ProtocolSpec, Transition
+from ..snooping.spec import (
+    CACHE_STABLE_STATES,
+    CACHE_TRANSIENT_STATES,
+    CACHE_TRANSITIONS as SNOOPING_CACHE_TRANSITIONS,
+    CACHE_EVENTS as SNOOPING_CACHE_EVENTS,
+)
+
+
+def _t(state: str, event: str, next_state: str, *actions: str) -> Transition:
+    return Transition(state=state, event=event, next_state=next_state, actions=actions)
+
+
+#: BASH cache events: the Snooping events plus retry/insufficiency/nack events.
+CACHE_EVENTS = SNOOPING_CACHE_EVENTS + (
+    "OwnRetry",
+    "OtherGETSInsufficient",
+    "OtherGETMInsufficient",
+    "Nack",
+    "OwnReissue",
+)
+
+CACHE_TRANSIENT_STATES = CACHE_TRANSIENT_STATES + ("IM_AD_B", "IS_AD_B")
+
+_EXTRA_CACHE_TRANSITIONS = [
+    # A retried version of our own request supersedes the original marker.
+    _t("IS_D", "OwnRetry", "IS_D", "re-mark at the retry's order point"),
+    _t("IS_D_I", "OwnRetry", "IS_D_I", "re-mark"),
+    _t("IM_D", "OwnRetry", "IM_D", "re-mark"),
+    _t("IM_D_O", "OwnRetry", "IM_D", "drop deferred requests ordered before the retry"),
+    _t("IM_D_I", "OwnRetry", "IM_D", "drop deferred requests ordered before the retry"),
+    _t("IM_D_OI", "OwnRetry", "IM_D", "drop deferred requests ordered before the retry"),
+    _t("OM_A", "OwnRetry", "M", "retry reached the sharers; store completes"),
+    # Observed requests whose recipient set was insufficient change nothing at
+    # the owner (the memory controller will retry them).
+    _t("O", "OtherGETMInsufficient", "O"),
+    _t("M", "OtherGETMInsufficient", "M"),
+    _t("S", "OtherGETMInsufficient", "I", "invalidate anyway (harmless)"),
+    _t("OM_A", "OtherGETMInsufficient", "OM_A"),
+    _t("MI_A", "OtherGETMInsufficient", "MI_A"),
+    _t("OI_A", "OtherGETMInsufficient", "OI_A"),
+    _t("IM_D", "OtherGETMInsufficient", "IM_D"),
+    _t("IS_D", "OtherGETMInsufficient", "IS_D"),
+    _t("O", "OtherGETSInsufficient", "O"),
+    _t("M", "OtherGETSInsufficient", "M"),
+    # Deadlock resolution: the memory controller nacked our request, so we
+    # reissue it as a broadcast (which always succeeds).
+    _t("IS_AD", "Nack", "IS_AD_B", "reissue GETS as broadcast"),
+    _t("IS_D", "Nack", "IS_AD_B", "reissue GETS as broadcast"),
+    _t("IM_AD", "Nack", "IM_AD_B", "reissue GETM as broadcast"),
+    _t("IM_D", "Nack", "IM_AD_B", "reissue GETM as broadcast"),
+    _t("IS_AD_B", "OwnReissue", "IS_D"),
+    _t("IS_AD_B", "OtherGETM", "IS_AD_B"),
+    _t("IS_AD_B", "OtherGETS", "IS_AD_B"),
+    _t("IM_AD_B", "OwnReissue", "IM_D"),
+    _t("IM_AD_B", "OtherGETM", "IM_AD_B"),
+    _t("IM_AD_B", "OtherGETS", "IM_AD_B"),
+]
+
+CACHE_TRANSITIONS = list(SNOOPING_CACHE_TRANSITIONS) + _EXTRA_CACHE_TRANSITIONS
+
+#: BASH memory events: request sufficiency, writeback resolution, retries.
+MEMORY_EVENTS = (
+    "GETSSufficient",
+    "GETSInsufficient",
+    "GETMSufficient",
+    "GETMInsufficient",
+    "PUTOwner",
+    "PUTStale",
+    "WBData",
+    "WBSquash",
+    "RetryBufferFull",
+)
+
+MEMORY_STABLE_STATES = ("MemOwner", "MemOwnerSharers", "CacheOwner", "CacheOwnerSharers")
+MEMORY_TRANSIENT_STATES = ("AwaitingWB",)
+
+MEMORY_TRANSITIONS = [
+    _t("MemOwner", "GETSSufficient", "MemOwnerSharers", "send data"),
+    _t("MemOwner", "GETMSufficient", "CacheOwner", "send data"),
+    _t("MemOwner", "PUTStale", "MemOwner", "expect squash"),
+    _t("MemOwner", "WBSquash", "MemOwner"),
+    _t("MemOwnerSharers", "GETSSufficient", "MemOwnerSharers", "send data"),
+    _t("MemOwnerSharers", "GETMSufficient", "CacheOwner", "send data"),
+    _t("MemOwnerSharers", "GETMInsufficient", "MemOwnerSharers", "retry incl. sharers"),
+    _t("MemOwnerSharers", "PUTStale", "MemOwnerSharers", "expect squash"),
+    _t("MemOwnerSharers", "RetryBufferFull", "MemOwnerSharers", "nack requester"),
+    _t("CacheOwner", "GETSSufficient", "CacheOwnerSharers", "owner sends data"),
+    _t("CacheOwner", "GETSInsufficient", "CacheOwner", "retry incl. owner"),
+    _t("CacheOwner", "GETMSufficient", "CacheOwner", "owner sends data"),
+    _t("CacheOwner", "GETMInsufficient", "CacheOwner", "retry incl. owner"),
+    _t("CacheOwner", "PUTOwner", "AwaitingWB", "hold later requests"),
+    _t("CacheOwner", "PUTStale", "CacheOwner", "expect squash"),
+    _t("CacheOwner", "RetryBufferFull", "CacheOwner", "nack requester"),
+    _t("CacheOwnerSharers", "GETSSufficient", "CacheOwnerSharers", "owner sends data"),
+    _t("CacheOwnerSharers", "GETSInsufficient", "CacheOwnerSharers", "retry incl. owner"),
+    _t("CacheOwnerSharers", "GETMSufficient", "CacheOwner", "owner sends data"),
+    _t("CacheOwnerSharers", "GETMInsufficient", "CacheOwnerSharers", "retry"),
+    _t("CacheOwnerSharers", "PUTOwner", "AwaitingWB", "hold later requests"),
+    _t("CacheOwnerSharers", "PUTStale", "CacheOwnerSharers", "expect squash"),
+    _t("CacheOwnerSharers", "RetryBufferFull", "CacheOwnerSharers", "nack requester"),
+    _t("AwaitingWB", "WBData", "MemOwner", "write data; drain held requests"),
+    _t("AwaitingWB", "WBSquash", "CacheOwner", "drop held requests"),
+    _t("AwaitingWB", "GETSSufficient", "AwaitingWB", "hold"),
+    _t("AwaitingWB", "GETMSufficient", "AwaitingWB", "hold"),
+    _t("AwaitingWB", "GETSInsufficient", "AwaitingWB", "hold"),
+    _t("AwaitingWB", "GETMInsufficient", "AwaitingWB", "hold"),
+]
+
+
+def cache_spec() -> ControllerSpec:
+    """Cache controller specification."""
+    return ControllerSpec(
+        name="bash-cache",
+        stable_states=CACHE_STABLE_STATES,
+        transient_states=CACHE_TRANSIENT_STATES,
+        events=CACHE_EVENTS,
+        transitions=CACHE_TRANSITIONS,
+    )
+
+
+def memory_spec() -> ControllerSpec:
+    """Memory controller specification."""
+    return ControllerSpec(
+        name="bash-memory",
+        stable_states=MEMORY_STABLE_STATES,
+        transient_states=MEMORY_TRANSIENT_STATES,
+        events=MEMORY_EVENTS,
+        transitions=list(MEMORY_TRANSITIONS),
+    )
+
+
+def protocol_spec() -> ProtocolSpec:
+    """The full BASH specification (cache + memory)."""
+    return ProtocolSpec(name="BASH", cache=cache_spec(), memory=memory_spec())

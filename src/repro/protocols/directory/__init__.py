@@ -1,0 +1,6 @@
+"""The GS320-style Directory protocol (evaluation baseline 2)."""
+
+from .cache_controller import DirectoryCacheController
+from .memory_controller import DirectoryMemoryController
+
+__all__ = ["DirectoryCacheController", "DirectoryMemoryController"]

@@ -1,0 +1,238 @@
+"""Cache controller for the GS320-style Directory protocol (Section 3.2).
+
+Requests are unicast on the unordered network to the block's home directory.
+The directory either responds directly (sending the data on the unordered
+network and a marker on the totally ordered forwarded-request network) or
+forwards the request on the ordered multicast network to the owner, the
+sharers, and the requester.  Because the forwarded-request network is totally
+ordered and forwarded requests are always processed at their target, no
+invalidation or completion acknowledgements are needed.
+"""
+
+from __future__ import annotations
+
+from ...coherence.block import CacheBlock
+from ...coherence.state import MOSIState
+from ...coherence.transaction import Transaction
+from ...errors import ProtocolError
+from ...interconnect.message import DestinationUnit, Message, MessageType
+from ..base import CacheControllerBase
+
+
+class DirectoryCacheController(CacheControllerBase):
+    """MOSI cache controller that unicasts its requests to the home directory."""
+
+    # ------------------------------------------------------------- sending
+
+    def _send_request(self, transaction: Transaction) -> None:
+        transaction.was_broadcast = False
+        state = self.state_of(transaction.address)
+        if transaction.kind is MessageType.GETM and state.is_owner:
+            # An upgrade from O needs no data; it completes at its marker.
+            transaction.expects_data = False
+        message = Message(
+            msg_type=transaction.kind,
+            src=self.node_id,
+            dest=self.home_of(transaction.address),
+            dest_unit=DestinationUnit.MEMORY,
+            address=transaction.address,
+            size_bytes=self.config.request_message_bytes,
+            requester=self.node_id,
+            transaction_id=transaction.transaction_id,
+            data_token=transaction.store_token,
+            issue_time=self.now,
+        )
+        self.count("unicast_requests")
+        self.interconnect.send_unordered(message)
+
+    def _send_writeback(self, transaction: Transaction) -> None:
+        """Write the owned block back to the home; the data rides with the PUT."""
+        block = self.blocks.lookup(transaction.address)
+        message = Message(
+            msg_type=MessageType.PUTM,
+            src=self.node_id,
+            dest=self.home_of(transaction.address),
+            dest_unit=DestinationUnit.MEMORY,
+            address=transaction.address,
+            size_bytes=self.config.data_message_bytes,
+            requester=self.node_id,
+            transaction_id=transaction.transaction_id,
+            data_token=block.data_token,
+            issue_time=self.now,
+        )
+        self.interconnect.send_unordered(message)
+
+    # ---------------------------------------------------------- ordered path
+
+    def handle_ordered(self, message: Message) -> None:
+        """Process markers and forwarded requests from the ordered network."""
+        if message.msg_type is MessageType.MARKER:
+            self._handle_marker(message)
+            return
+        if message.msg_type in (MessageType.PUT_ACK, MessageType.PUT_NACK):
+            self._handle_put_response(message)
+            return
+        if message.msg_type in (MessageType.FWD_GETS, MessageType.FWD_GETM):
+            if message.requester == self.node_id:
+                self._handle_own_forward(message)
+            else:
+                self._handle_other_forward(message)
+            return
+        raise ProtocolError(
+            f"directory cache controller cannot handle ordered {message.msg_type}"
+        )
+
+    def _handle_marker(self, message: Message) -> None:
+        transaction = self.transactions.get(message.address)
+        if transaction is None or transaction.transaction_id != message.transaction_id:
+            self.count("stale_markers")
+            return
+        transaction.record_marker(message.order_seq)
+        self._try_complete(transaction)
+
+    def _handle_own_forward(self, message: Message) -> None:
+        """Our own request forwarded by the directory doubles as our marker."""
+        transaction = self.transactions.get(message.address)
+        if transaction is None or transaction.transaction_id != message.transaction_id:
+            self.count("stale_markers")
+            return
+        transaction.record_marker(message.order_seq)
+        self._try_complete(transaction)
+
+    def _handle_other_forward(self, message: Message) -> None:
+        address = message.address
+        transaction = self.transactions.get(address)
+        block = self.blocks.lookup(address)
+        if transaction is not None and not transaction.completed:
+            if (
+                transaction.kind is MessageType.GETM
+                and transaction.marker_seen
+                and not block.is_owner
+            ):
+                # The directory made us the owner before it forwarded this
+                # request to us, but our data has not arrived yet: defer.
+                transaction.deferred.append(message)
+                self.count("deferred_requests")
+                if (
+                    message.msg_type is MessageType.FWD_GETM
+                    and block.state is MOSIState.SHARED
+                ):
+                    block.invalidate()
+                return
+            if transaction.kind is MessageType.GETS:
+                if message.msg_type is MessageType.FWD_GETM:
+                    transaction.invalidate_seqs.append(message.order_seq)
+                if block.state is MOSIState.SHARED:
+                    block.invalidate()
+                return
+        self._serve_forward(block, message)
+
+    def _serve_forward(self, block: CacheBlock, message: Message) -> None:
+        """React to a forwarded request according to our stable state."""
+        requester = message.requester
+        if message.msg_type is MessageType.FWD_GETS:
+            if block.is_owner:
+                self._send_data(
+                    block.address, requester, block.data_token, message.transaction_id
+                )
+                block.state = MOSIState.OWNED
+                block.tracked_sharers.add(requester)
+                self.count("cache_to_cache")
+            else:
+                self.count("stale_forwards")
+            return
+        if message.msg_type is MessageType.FWD_GETM:
+            if block.is_owner:
+                self._send_data(
+                    block.address, requester, block.data_token, message.transaction_id
+                )
+                block.invalidate()
+                self.blocks.drop(block.address)
+                self.count("cache_to_cache")
+            elif block.state is MOSIState.SHARED:
+                block.invalidate()
+                self.blocks.drop(block.address)
+                self.count("invalidations")
+            return
+        raise ProtocolError(f"unexpected forward {message.msg_type}")
+
+    def _handle_put_response(self, message: Message) -> None:
+        transaction = self.writebacks.get(message.address)
+        if transaction is None or transaction.transaction_id != message.transaction_id:
+            self.count("stale_put_responses")
+            return
+        block = self.blocks.lookup(message.address)
+        block.invalidate()
+        self.blocks.drop(message.address)
+        if message.msg_type is MessageType.PUT_ACK:
+            self.count("writebacks.acked")
+        else:
+            self.count("writebacks.nacked")
+        self._complete(transaction)
+
+    # --------------------------------------------------------- unordered path
+
+    def handle_unordered(self, message: Message) -> None:
+        """Process data responses from the unordered network."""
+        if message.msg_type is MessageType.DATA:
+            self._handle_data(message)
+            return
+        raise ProtocolError(
+            f"directory cache controller cannot handle unordered {message.msg_type}"
+        )
+
+    def _handle_data(self, message: Message) -> None:
+        transaction = self.transactions.get(message.address)
+        if (
+            transaction is None
+            or transaction.completed
+            or transaction.transaction_id != message.transaction_id
+        ):
+            self.count("dropped_data")
+            return
+        transaction.data_received = True
+        transaction.received_token = message.data_token
+        block = self.blocks.lookup(message.address)
+        if transaction.kind is MessageType.GETM:
+            # Install ownership immediately so later forwarded requests are
+            # served, but only report completion once the marker arrives.
+            block.become_owner(transaction.store_token)
+            self._service_deferred(transaction, block)
+        self._try_complete(transaction)
+
+    # ------------------------------------------------------------ completion
+
+    def _try_complete(self, transaction: Transaction) -> None:
+        if not transaction.marker_seen:
+            return
+        if transaction.expects_data and not transaction.data_received:
+            return
+        block = self.blocks.lookup(transaction.address)
+        if transaction.kind is MessageType.GETM:
+            if not transaction.data_received:
+                # Upgrade without a data response: install ownership here.
+                # Requests satisfied by a data response installed ownership
+                # when the data arrived (so deferred forwards could be served)
+                # and only report completion now.
+                block.become_owner(transaction.store_token)
+                self._service_deferred(transaction, block)
+            self._complete(transaction)
+        else:
+            self._finish_gets(transaction, block)
+
+    def _finish_gets(self, transaction: Transaction, block: CacheBlock) -> None:
+        block.data_token = transaction.received_token
+        if transaction.invalidated_after():
+            block.invalidate()
+            self.blocks.drop(block.address)
+            self.count("load_then_invalidate")
+        else:
+            block.state = MOSIState.SHARED
+        self._complete(transaction)
+
+    def _service_deferred(self, transaction: Transaction, block: CacheBlock) -> None:
+        for deferred in transaction.deferred:
+            if not block.is_owner:
+                break
+            self._serve_forward(block, deferred)
+        transaction.deferred.clear()

@@ -1,0 +1,170 @@
+"""Home/directory controller of the GS320-style Directory protocol.
+
+The directory is the ordering point for its blocks: requests arrive unicast on
+the unordered network, are serialised here, and are either answered directly
+(data on the unordered network plus a marker on the totally ordered network) or
+forwarded on the totally ordered multicast network to the owner, the sharers
+and the requester.  Writebacks carry their data with the PUT and are
+acknowledged (or rejected, if ownership already moved) on the ordered network
+so that acknowledgements never overtake forwarded requests.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from ...coherence.directory import DirectoryEntry
+from ...errors import ProtocolError
+from ...interconnect.message import DestinationUnit, Message, MessageType
+from ..base import MemoryControllerBase
+
+
+class DirectoryMemoryController(MemoryControllerBase):
+    """Full-directory (owner + sharer superset) home node controller."""
+
+    # --------------------------------------------------------- ordered path
+
+    def handle_ordered(self, message: Message) -> None:
+        """The directory itself consumes nothing from the ordered network."""
+        return
+
+    # ------------------------------------------------------- unordered path
+
+    def handle_unordered(self, message: Message) -> None:
+        """Serialise and process one request received at the home."""
+        if not self.is_home_for(message.address):
+            raise ProtocolError(
+                f"node {self.node_id} received a request for address "
+                f"0x{message.address:x} it is not home for"
+            )
+        if message.msg_type is MessageType.GETS:
+            self._handle_gets(message)
+        elif message.msg_type is MessageType.GETM:
+            self._handle_getm(message)
+        elif message.msg_type is MessageType.PUTM:
+            self._handle_putm(message)
+        else:
+            raise ProtocolError(
+                f"directory controller cannot handle {message.msg_type}"
+            )
+
+    # ----------------------------------------------------------- GETS / GETM
+
+    def _handle_gets(self, message: Message) -> None:
+        entry = self.directory.lookup(message.address)
+        requester = message.requester
+        if entry.memory_is_owner or entry.owner == requester:
+            self._send_data(
+                message.address, requester, entry.data_token, message.transaction_id
+            )
+            self._send_marker(message)
+            self.count("memory_responses")
+        else:
+            self._forward(
+                MessageType.FWD_GETS,
+                message,
+                recipients=frozenset({entry.owner, requester}),
+            )
+        entry.add_sharer(requester)
+
+    def _handle_getm(self, message: Message) -> None:
+        entry = self.directory.lookup(message.address)
+        requester = message.requester
+        invalidation_targets = set(entry.sharers)
+        invalidation_targets.discard(requester)
+        if entry.memory_is_owner:
+            self._send_data(
+                message.address, requester, entry.data_token, message.transaction_id
+            )
+            self.count("memory_responses")
+            recipients = frozenset(invalidation_targets | {requester})
+            if invalidation_targets:
+                self._forward(MessageType.FWD_GETM, message, recipients=recipients)
+            else:
+                self._send_marker(message)
+        elif entry.owner == requester:
+            recipients = frozenset(invalidation_targets | {requester})
+            self._forward(MessageType.FWD_GETM, message, recipients=recipients)
+        else:
+            recipients = frozenset(
+                invalidation_targets | {entry.owner, requester}
+            )
+            self._forward(MessageType.FWD_GETM, message, recipients=recipients)
+        entry.grant_exclusive(requester)
+
+    def _handle_putm(self, message: Message) -> None:
+        entry = self.directory.lookup(message.address)
+        writer = message.requester
+        if entry.owner == writer:
+            entry.writeback_to_memory(message.data_token)
+            entry.sharers.discard(writer)
+            self._send_ordered_control(
+                MessageType.PUT_ACK, writer, message.address, message.transaction_id
+            )
+            self.count("writebacks.accepted")
+        else:
+            self._send_ordered_control(
+                MessageType.PUT_NACK, writer, message.address, message.transaction_id
+            )
+            self.count("writebacks.rejected")
+
+    # ---------------------------------------------------------------- helpers
+
+    def _send_marker(self, request: Message) -> None:
+        """Tell the requester where its request landed in the total order."""
+        marker = Message(
+            msg_type=MessageType.MARKER,
+            src=self.node_id,
+            address=request.address,
+            size_bytes=self.config.request_message_bytes,
+            requester=request.requester,
+            transaction_id=request.transaction_id,
+            issue_time=self.now,
+        )
+        self.schedule(
+            self.config.latency.dram_access,
+            lambda: self.interconnect.send_ordered(
+                marker, frozenset({request.requester})
+            ),
+            "marker",
+        )
+
+    def _forward(
+        self, msg_type: MessageType, request: Message, recipients: FrozenSet[int]
+    ) -> None:
+        """Forward a request on the totally ordered multicast network."""
+        forward = Message(
+            msg_type=msg_type,
+            src=self.node_id,
+            address=request.address,
+            size_bytes=self.config.request_message_bytes,
+            requester=request.requester,
+            transaction_id=request.transaction_id,
+            data_token=request.data_token,
+            issue_time=self.now,
+        )
+        self.count("forwards")
+        self.schedule(
+            self.config.latency.dram_access,
+            lambda: self.interconnect.send_ordered(forward, recipients),
+            f"forward-{msg_type}",
+        )
+
+    def _send_ordered_control(
+        self, msg_type: MessageType, dest: int, address: int, transaction_id: int
+    ) -> None:
+        """Send an ack/nack on the ordered network so it cannot pass a forward."""
+        message = Message(
+            msg_type=msg_type,
+            src=self.node_id,
+            address=address,
+            size_bytes=self.config.request_message_bytes,
+            requester=dest,
+            transaction_id=transaction_id,
+            issue_time=self.now,
+        )
+        self.schedule(
+            self.config.latency.dram_access,
+            lambda: self.interconnect.send_ordered(message, frozenset({dest})),
+            f"put-response-{msg_type}",
+        )

@@ -1,0 +1,158 @@
+"""Declarative specification of the Directory (GS320-style) protocol."""
+
+from __future__ import annotations
+
+from ..spec import ControllerSpec, ProtocolSpec, Transition
+
+
+def _t(state: str, event: str, next_state: str, *actions: str) -> Transition:
+    return Transition(state=state, event=event, next_state=next_state, actions=actions)
+
+
+#: Cache-side events: demands, forwarded requests, markers, responses, acks.
+CACHE_EVENTS = (
+    "Load",
+    "Store",
+    "Replacement",
+    "OwnMarker",
+    "FwdGETS",
+    "FwdGETM",
+    "Data",
+    "PutAck",
+    "PutNack",
+)
+
+CACHE_STABLE_STATES = ("I", "S", "O", "M")
+
+CACHE_TRANSIENT_STATES = (
+    "IS_AD",
+    "IS_A",
+    "IS_D",
+    "IS_D_I",
+    "IM_AD",
+    "IM_A",
+    "IM_D",
+    "IM_D_O",
+    "IM_D_I",
+    "SM_AD",
+    "OM_A",
+    "MI_A",
+    "OI_A",
+    "II_A",
+)
+
+CACHE_TRANSITIONS = [
+    # Stable states.
+    _t("I", "Load", "IS_AD", "unicast GETS to home"),
+    _t("I", "Store", "IM_AD", "unicast GETM to home"),
+    _t("I", "FwdGETM", "I", "stale sharer in the superset"),
+    _t("S", "Load", "S"),
+    _t("S", "Store", "SM_AD", "unicast GETM to home"),
+    _t("S", "Replacement", "I", "silent drop"),
+    _t("S", "FwdGETM", "I"),
+    _t("O", "Load", "O"),
+    _t("O", "Store", "OM_A", "unicast GETM to home"),
+    _t("O", "Replacement", "OI_A", "PUT with data to home"),
+    _t("O", "FwdGETS", "O", "send data"),
+    _t("O", "FwdGETM", "I", "send data"),
+    _t("M", "Load", "M"),
+    _t("M", "Store", "M"),
+    _t("M", "Replacement", "MI_A", "PUT with data to home"),
+    _t("M", "FwdGETS", "O", "send data"),
+    _t("M", "FwdGETM", "I", "send data"),
+    # GETS in flight: marker and data can arrive in either order.
+    _t("IS_AD", "OwnMarker", "IS_D"),
+    _t("IS_AD", "Data", "IS_A"),
+    _t("IS_AD", "FwdGETM", "IS_AD", "request ordered before ours"),
+    _t("IS_A", "OwnMarker", "S", "load completes"),
+    _t("IS_A", "FwdGETM", "IS_AD", "newer store will follow"),
+    _t("IS_D", "Data", "S", "load completes"),
+    _t("IS_D", "FwdGETM", "IS_D_I"),
+    _t("IS_D_I", "Data", "I", "load completes then invalidate"),
+    _t("IS_D_I", "FwdGETM", "IS_D_I"),
+    # GETM in flight.
+    _t("IM_AD", "OwnMarker", "IM_D"),
+    _t("IM_AD", "Data", "IM_A"),
+    _t("IM_AD", "FwdGETM", "IM_AD"),
+    _t("IM_A", "OwnMarker", "M", "store completes"),
+    _t("IM_A", "FwdGETS", "O", "send data"),
+    _t("IM_A", "FwdGETM", "I", "send data"),
+    _t("IM_D", "Data", "M", "store completes"),
+    _t("IM_D", "FwdGETS", "IM_D_O", "defer"),
+    _t("IM_D", "FwdGETM", "IM_D_I", "defer"),
+    _t("IM_D_O", "Data", "O", "store completes; serve deferred sharer"),
+    _t("IM_D_O", "FwdGETS", "IM_D_O", "defer"),
+    _t("IM_D_O", "FwdGETM", "IM_D_I", "defer"),
+    _t("IM_D_I", "Data", "I", "store completes; serve deferred requester"),
+    _t("IM_D_I", "FwdGETS", "IM_D_I"),
+    _t("IM_D_I", "FwdGETM", "IM_D_I"),
+    # Upgrades.
+    _t("SM_AD", "OwnMarker", "IM_D", "wait for data"),
+    _t("SM_AD", "Data", "IM_A"),
+    _t("SM_AD", "FwdGETM", "IM_AD", "copy invalidated"),
+    _t("OM_A", "OwnMarker", "M", "store completes at marker"),
+    _t("OM_A", "FwdGETS", "OM_A", "send data"),
+    _t("OM_A", "FwdGETM", "IM_AD", "send data; ownership lost"),
+    # Writebacks (data rides with the PUT; block held until the ack).
+    _t("MI_A", "PutAck", "I"),
+    _t("MI_A", "PutNack", "I"),
+    _t("MI_A", "FwdGETS", "OI_A", "send data"),
+    _t("MI_A", "FwdGETM", "II_A", "send data"),
+    _t("OI_A", "PutAck", "I"),
+    _t("OI_A", "PutNack", "I"),
+    _t("OI_A", "FwdGETS", "OI_A", "send data"),
+    _t("OI_A", "FwdGETM", "II_A", "send data"),
+    _t("II_A", "PutAck", "I"),
+    _t("II_A", "PutNack", "I"),
+    _t("II_A", "FwdGETM", "II_A"),
+]
+
+#: Directory events: the request stream as seen at the home node.
+MEMORY_EVENTS = ("GETS", "GETM", "PUTOwner", "PUTStale")
+
+MEMORY_STABLE_STATES = ("MemOwner", "MemOwnerSharers", "CacheOwner", "CacheOwnerSharers")
+MEMORY_TRANSIENT_STATES = ()
+
+MEMORY_TRANSITIONS = [
+    _t("MemOwner", "GETS", "MemOwnerSharers", "send data + marker"),
+    _t("MemOwner", "GETM", "CacheOwner", "send data + marker"),
+    _t("MemOwner", "PUTStale", "MemOwner", "nack"),
+    _t("MemOwnerSharers", "GETS", "MemOwnerSharers", "send data + marker"),
+    _t("MemOwnerSharers", "GETM", "CacheOwner", "send data; forward invalidations"),
+    _t("MemOwnerSharers", "PUTStale", "MemOwnerSharers", "nack"),
+    _t("CacheOwner", "GETS", "CacheOwnerSharers", "forward to owner"),
+    _t("CacheOwner", "GETM", "CacheOwner", "forward to owner"),
+    _t("CacheOwner", "PUTOwner", "MemOwner", "write data; ack"),
+    _t("CacheOwner", "PUTStale", "CacheOwner", "nack"),
+    _t("CacheOwnerSharers", "GETS", "CacheOwnerSharers", "forward to owner"),
+    _t("CacheOwnerSharers", "GETM", "CacheOwner", "forward to owner and sharers"),
+    _t("CacheOwnerSharers", "PUTOwner", "MemOwnerSharers", "write data; ack"),
+    _t("CacheOwnerSharers", "PUTStale", "CacheOwnerSharers", "nack"),
+]
+
+
+def cache_spec() -> ControllerSpec:
+    """Cache controller specification."""
+    return ControllerSpec(
+        name="directory-cache",
+        stable_states=CACHE_STABLE_STATES,
+        transient_states=CACHE_TRANSIENT_STATES,
+        events=CACHE_EVENTS,
+        transitions=list(CACHE_TRANSITIONS),
+    )
+
+
+def memory_spec() -> ControllerSpec:
+    """Directory controller specification."""
+    return ControllerSpec(
+        name="directory-memory",
+        stable_states=MEMORY_STABLE_STATES,
+        transient_states=MEMORY_TRANSIENT_STATES,
+        events=MEMORY_EVENTS,
+        transitions=list(MEMORY_TRANSITIONS),
+    )
+
+
+def protocol_spec() -> ProtocolSpec:
+    """The full Directory specification (cache + directory)."""
+    return ProtocolSpec(name="Directory", cache=cache_spec(), memory=memory_spec())

@@ -1,0 +1,42 @@
+"""Factory creating the matching cache/memory controller pair for a protocol."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..common.config import ProtocolName, SystemConfig
+from ..common.stats import StatsRegistry
+from ..errors import ConfigurationError
+from ..interconnect.network import Interconnect
+from ..sim.scheduler import Scheduler
+from .base import CacheControllerBase, MemoryControllerBase
+from .bash.cache_controller import BashCacheController
+from .bash.memory_controller import BashMemoryController
+from .directory.cache_controller import DirectoryCacheController
+from .directory.memory_controller import DirectoryMemoryController
+from .snooping.cache_controller import SnoopingCacheController
+from .snooping.memory_controller import SnoopingMemoryController
+
+_CONTROLLER_CLASSES = {
+    ProtocolName.SNOOPING: (SnoopingCacheController, SnoopingMemoryController),
+    ProtocolName.DIRECTORY: (DirectoryCacheController, DirectoryMemoryController),
+    ProtocolName.BASH: (BashCacheController, BashMemoryController),
+}
+
+
+def create_controllers(
+    node_id: int,
+    config: SystemConfig,
+    interconnect: Interconnect,
+    scheduler: Scheduler,
+    stats: StatsRegistry,
+) -> Tuple[CacheControllerBase, MemoryControllerBase]:
+    """Build the cache and memory controllers for one node."""
+    protocol = ProtocolName(config.protocol)
+    try:
+        cache_class, memory_class = _CONTROLLER_CLASSES[protocol]
+    except KeyError:  # pragma: no cover - guarded by ProtocolName conversion
+        raise ConfigurationError(f"unknown protocol {protocol!r}")
+    cache = cache_class(node_id, config, interconnect, scheduler, stats)
+    memory = memory_class(node_id, config, interconnect, scheduler, stats)
+    return cache, memory

@@ -1,0 +1,10 @@
+"""The aggressive MOSI broadcast Snooping protocol (evaluation baseline 1)."""
+
+from .cache_controller import SnoopingCacheController
+from .memory_controller import OrderedHomeMemoryController, SnoopingMemoryController
+
+__all__ = [
+    "SnoopingCacheController",
+    "SnoopingMemoryController",
+    "OrderedHomeMemoryController",
+]

@@ -1,0 +1,161 @@
+"""Declarative specification of the Snooping protocol (for Table 1).
+
+The states, events and transitions below describe the same protocol the
+executable controllers implement, expressed in the tabular style the paper
+counts in Table 1.  Stable states are MOSI; transient states use the usual
+SLICC-like naming: ``IS_AD`` is "was Invalid, going to Shared, awaiting the
+Address (own request ordered) and Data", ``MI_A`` is "was Modified, going to
+Invalid, awaiting own PUT in the address order", and so on.
+"""
+
+from __future__ import annotations
+
+from ..spec import ControllerSpec, ProtocolSpec, Transition
+
+#: Cache-side events: processor demands, snooped requests, and responses.
+CACHE_EVENTS = (
+    "Load",
+    "Store",
+    "Replacement",
+    "OwnGETS",
+    "OwnGETM",
+    "OwnPUT",
+    "OtherGETS",
+    "OtherGETM",
+    "Data",
+)
+
+CACHE_STABLE_STATES = ("I", "S", "O", "M")
+
+CACHE_TRANSIENT_STATES = (
+    "IS_AD",
+    "IS_D",
+    "IS_D_I",
+    "IM_AD",
+    "IM_D",
+    "IM_D_O",
+    "IM_D_I",
+    "IM_D_OI",
+    "SM_AD",
+    "OM_A",
+    "MI_A",
+    "OI_A",
+    "II_A",
+)
+
+
+def _t(state: str, event: str, next_state: str, *actions: str) -> Transition:
+    return Transition(state=state, event=event, next_state=next_state, actions=actions)
+
+
+CACHE_TRANSITIONS = [
+    # Stable states: processor demands and snooped requests.
+    _t("I", "Load", "IS_AD", "issue GETS"),
+    _t("I", "Store", "IM_AD", "issue GETM"),
+    _t("S", "Load", "S"),
+    _t("S", "Store", "SM_AD", "issue GETM"),
+    _t("S", "Replacement", "I", "silent drop"),
+    _t("S", "OtherGETS", "S"),
+    _t("S", "OtherGETM", "I"),
+    _t("O", "Load", "O"),
+    _t("O", "Store", "OM_A", "issue GETM"),
+    _t("O", "Replacement", "OI_A", "issue PUT"),
+    _t("O", "OtherGETS", "O", "send data"),
+    _t("O", "OtherGETM", "I", "send data"),
+    _t("M", "Load", "M"),
+    _t("M", "Store", "M"),
+    _t("M", "Replacement", "MI_A", "issue PUT"),
+    _t("M", "OtherGETS", "O", "send data"),
+    _t("M", "OtherGETM", "I", "send data"),
+    # GETS in flight.
+    _t("IS_AD", "OwnGETS", "IS_D", "marker"),
+    _t("IS_AD", "OtherGETS", "IS_AD"),
+    _t("IS_AD", "OtherGETM", "IS_AD"),
+    _t("IS_D", "Data", "S", "load completes"),
+    _t("IS_D", "OtherGETS", "IS_D"),
+    _t("IS_D", "OtherGETM", "IS_D_I"),
+    _t("IS_D_I", "Data", "I", "load completes then invalidate"),
+    _t("IS_D_I", "OtherGETS", "IS_D_I"),
+    _t("IS_D_I", "OtherGETM", "IS_D_I"),
+    # GETM in flight from Invalid.
+    _t("IM_AD", "OwnGETM", "IM_D", "marker"),
+    _t("IM_AD", "OtherGETS", "IM_AD"),
+    _t("IM_AD", "OtherGETM", "IM_AD"),
+    _t("IM_D", "Data", "M", "store completes"),
+    _t("IM_D", "OtherGETS", "IM_D_O", "defer"),
+    _t("IM_D", "OtherGETM", "IM_D_I", "defer"),
+    _t("IM_D_O", "Data", "O", "store completes; send data to deferred sharer"),
+    _t("IM_D_O", "OtherGETS", "IM_D_O", "defer"),
+    _t("IM_D_O", "OtherGETM", "IM_D_OI", "defer"),
+    _t("IM_D_I", "Data", "I", "store completes; send data to deferred requester"),
+    _t("IM_D_I", "OtherGETS", "IM_D_I"),
+    _t("IM_D_I", "OtherGETM", "IM_D_I"),
+    _t("IM_D_OI", "Data", "I", "store completes; satisfy deferred chain"),
+    _t("IM_D_OI", "OtherGETS", "IM_D_OI"),
+    _t("IM_D_OI", "OtherGETM", "IM_D_OI"),
+    # Upgrade from Shared.
+    _t("SM_AD", "OwnGETM", "IM_D", "marker; wait for data"),
+    _t("SM_AD", "OtherGETS", "SM_AD"),
+    _t("SM_AD", "OtherGETM", "IM_AD", "copy invalidated"),
+    # Upgrade from Owned.
+    _t("OM_A", "OwnGETM", "M", "store completes at marker"),
+    _t("OM_A", "OtherGETS", "OM_A", "send data"),
+    _t("OM_A", "OtherGETM", "IM_AD", "send data; ownership lost"),
+    # Writebacks.
+    _t("MI_A", "OwnPUT", "I", "send writeback data"),
+    _t("MI_A", "OtherGETS", "OI_A", "send data"),
+    _t("MI_A", "OtherGETM", "II_A", "send data"),
+    _t("OI_A", "OwnPUT", "I", "send writeback data"),
+    _t("OI_A", "OtherGETS", "OI_A", "send data"),
+    _t("OI_A", "OtherGETM", "II_A", "send data"),
+    _t("II_A", "OwnPUT", "I", "send squash"),
+    _t("II_A", "OtherGETS", "II_A"),
+    _t("II_A", "OtherGETM", "II_A"),
+]
+
+#: Memory-side events for the owner-bit memory controller.
+MEMORY_EVENTS = ("GETS", "GETM", "PUT", "WBData", "WBSquash")
+
+MEMORY_STABLE_STATES = ("Owner", "NotOwner")
+MEMORY_TRANSIENT_STATES = ("AwaitingWB",)
+
+MEMORY_TRANSITIONS = [
+    _t("Owner", "GETS", "Owner", "send data"),
+    _t("Owner", "GETM", "NotOwner", "send data"),
+    _t("Owner", "PUT", "Owner", "stale PUT; expect squash"),
+    _t("Owner", "WBSquash", "Owner"),
+    _t("NotOwner", "GETS", "NotOwner"),
+    _t("NotOwner", "GETM", "NotOwner"),
+    _t("NotOwner", "PUT", "AwaitingWB", "hold later requests"),
+    _t("AwaitingWB", "GETS", "AwaitingWB", "hold"),
+    _t("AwaitingWB", "GETM", "AwaitingWB", "hold"),
+    _t("AwaitingWB", "WBData", "Owner", "write data; drain held requests"),
+    _t("AwaitingWB", "WBSquash", "NotOwner", "drop held requests"),
+]
+
+
+def cache_spec() -> ControllerSpec:
+    """Cache controller specification."""
+    return ControllerSpec(
+        name="snooping-cache",
+        stable_states=CACHE_STABLE_STATES,
+        transient_states=CACHE_TRANSIENT_STATES,
+        events=CACHE_EVENTS,
+        transitions=list(CACHE_TRANSITIONS),
+    )
+
+
+def memory_spec() -> ControllerSpec:
+    """Memory controller specification."""
+    return ControllerSpec(
+        name="snooping-memory",
+        stable_states=MEMORY_STABLE_STATES,
+        transient_states=MEMORY_TRANSIENT_STATES,
+        events=MEMORY_EVENTS,
+        transitions=list(MEMORY_TRANSITIONS),
+    )
+
+
+def protocol_spec() -> ProtocolSpec:
+    """The full Snooping specification (cache + memory)."""
+    return ProtocolSpec(name="Snooping", cache=cache_spec(), memory=memory_spec())

@@ -1,0 +1,135 @@
+"""Declarative protocol specifications used for the Table 1 complexity counts.
+
+The paper compares the three protocols by the number of states (stable and
+transient), events, and state transitions in their cache and memory/directory
+controllers (Table 1), noting that "the numbers of states and events depend
+somewhat on how one chooses to express a protocol".  This module provides the
+small vocabulary (:class:`ControllerSpec`, :class:`ProtocolSpec`) in which the
+per-protocol ``spec`` modules express their controllers, and from which
+:mod:`repro.protocols.complexity` derives the reproduction's Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One (state, event) -> next-state entry of a controller's table."""
+
+    state: str
+    event: str
+    next_state: str
+    actions: Tuple[str, ...] = ()
+
+
+@dataclass
+class ControllerSpec:
+    """The state machine of one controller (cache side or memory side)."""
+
+    name: str
+    stable_states: Sequence[str]
+    transient_states: Sequence[str]
+    events: Sequence[str]
+    transitions: List[Transition] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        seen: Dict[Tuple[str, str], Transition] = {}
+        valid_states = set(self.stable_states) | set(self.transient_states)
+        for transition in self.transitions:
+            if transition.state not in valid_states:
+                raise ConfigurationError(
+                    f"{self.name}: transition from unknown state {transition.state!r}"
+                )
+            if transition.next_state not in valid_states:
+                raise ConfigurationError(
+                    f"{self.name}: transition to unknown state {transition.next_state!r}"
+                )
+            if transition.event not in self.events:
+                raise ConfigurationError(
+                    f"{self.name}: transition on unknown event {transition.event!r}"
+                )
+            key = (transition.state, transition.event)
+            if key in seen:
+                raise ConfigurationError(
+                    f"{self.name}: duplicate transition for {key}"
+                )
+            seen[key] = transition
+
+    @property
+    def states(self) -> List[str]:
+        """All states, stable first."""
+        return list(self.stable_states) + list(self.transient_states)
+
+    @property
+    def state_count(self) -> int:
+        """Number of states (stable + transient)."""
+        return len(self.states)
+
+    @property
+    def event_count(self) -> int:
+        """Number of distinct events."""
+        return len(self.events)
+
+    @property
+    def transition_count(self) -> int:
+        """Number of (state, event) pairs with defined behaviour."""
+        return len(self.transitions)
+
+    def next_state(self, state: str, event: str) -> str:
+        """The state reached from ``state`` on ``event`` (raises if undefined)."""
+        for transition in self.transitions:
+            if transition.state == state and transition.event == event:
+                return transition.next_state
+        raise ConfigurationError(
+            f"{self.name}: no transition defined for ({state}, {event})"
+        )
+
+    def defined(self, state: str, event: str) -> bool:
+        """True when (state, event) has a defined transition."""
+        return any(
+            transition.state == state and transition.event == event
+            for transition in self.transitions
+        )
+
+
+@dataclass
+class ProtocolSpec:
+    """Cache-side and memory-side controller specs for one protocol."""
+
+    name: str
+    cache: ControllerSpec
+    memory: ControllerSpec
+
+    @property
+    def total_states(self) -> int:
+        """Combined state count (the paper's "Total / States" column)."""
+        return self.cache.state_count + self.memory.state_count
+
+    @property
+    def total_events(self) -> int:
+        """Combined event count."""
+        return self.cache.event_count + self.memory.event_count
+
+    @property
+    def total_transitions(self) -> int:
+        """Combined transition count."""
+        return self.cache.transition_count + self.memory.transition_count
+
+    def summary_row(self) -> Dict[str, int]:
+        """One Table 1 row for this protocol."""
+        return {
+            "total_states": self.total_states,
+            "total_events": self.total_events,
+            "total_transitions": self.total_transitions,
+            "cache_states": self.cache.state_count,
+            "cache_events": self.cache.event_count,
+            "cache_transitions": self.cache.transition_count,
+            "memory_states": self.memory.state_count,
+            "memory_events": self.memory.event_count,
+            "memory_transitions": self.memory.transition_count,
+        }

@@ -1,0 +1,13 @@
+"""Queueing-theory substrate for Figure 2."""
+
+from .mva import QueueingPoint, delay_versus_utilization, knee_utilization, mva_single_station
+from .simulation import QueueingSimulationResult, simulate_closed_network
+
+__all__ = [
+    "QueueingPoint",
+    "delay_versus_utilization",
+    "knee_utilization",
+    "mva_single_station",
+    "QueueingSimulationResult",
+    "simulate_closed_network",
+]

@@ -1,0 +1,95 @@
+"""Closed queueing network model behind Figure 2.
+
+Figure 2 of the paper illustrates why BASH throttles broadcasts: in a simple
+closed queueing network (N = 16 customers, exponential service with mean 1,
+exponential think time Z that is varied), the mean queueing delay explodes once
+utilization passes a "knee".  This module computes the same curve with exact
+Mean Value Analysis (MVA) for a single-queue machine-repairman style network:
+
+* ``N`` customers cycle between a think station (infinite servers, mean think
+  time ``Z``) and a single FIFO service station (mean service time ``S``).
+* MVA recurrence: ``R(n) = S * (1 + Q(n-1))``,
+  ``X(n) = n / (R(n) + Z)``, ``Q(n) = X(n) * R(n)``.
+
+The knee appears around the utilization where the service station saturates,
+exactly the behaviour the adaptive mechanism's 75 % threshold is designed to
+stay below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class QueueingPoint:
+    """One operating point of the closed queueing network."""
+
+    think_time: float
+    utilization: float
+    throughput: float
+    response_time: float
+    queueing_delay: float
+    queue_length: float
+
+
+def mva_single_station(
+    customers: int, service_time: float, think_time: float
+) -> QueueingPoint:
+    """Exact MVA for N customers, one FIFO station, infinite-server think time."""
+    if customers < 1:
+        raise ConfigurationError(f"need at least one customer, got {customers}")
+    if service_time <= 0:
+        raise ConfigurationError(f"service_time must be positive, got {service_time}")
+    if think_time < 0:
+        raise ConfigurationError(f"think_time must be non-negative, got {think_time}")
+    queue_length = 0.0
+    response_time = service_time
+    throughput = 0.0
+    for population in range(1, customers + 1):
+        response_time = service_time * (1.0 + queue_length)
+        throughput = population / (response_time + think_time)
+        queue_length = throughput * response_time
+    utilization = min(1.0, throughput * service_time)
+    return QueueingPoint(
+        think_time=think_time,
+        utilization=utilization,
+        throughput=throughput,
+        response_time=response_time,
+        queueing_delay=max(0.0, response_time - service_time),
+        queue_length=queue_length,
+    )
+
+
+def delay_versus_utilization(
+    customers: int = 16,
+    service_time: float = 1.0,
+    think_times: Sequence[float] = tuple(
+        [0.0, 0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0, 96.0, 128.0]
+    ),
+) -> List[QueueingPoint]:
+    """The Figure 2 sweep: vary the think time, report delay vs utilization."""
+    points = [
+        mva_single_station(customers, service_time, think_time)
+        for think_time in think_times
+    ]
+    return sorted(points, key=lambda point: point.utilization)
+
+
+def knee_utilization(points: Sequence[QueueingPoint], delay_factor: float = 2.0) -> float:
+    """The utilization at which queueing delay first exceeds ``delay_factor`` x service.
+
+    A crude but serviceable definition of the "knee" in Figure 2; used by the
+    tests to confirm the knee sits in the high-utilization region the paper's
+    75 % threshold is designed to avoid crossing.
+    """
+    if not points:
+        raise ConfigurationError("need at least one queueing point")
+    service_time = points[0].response_time - points[0].queueing_delay
+    for point in points:
+        if point.queueing_delay > delay_factor * service_time:
+            return point.utilization
+    return points[-1].utilization

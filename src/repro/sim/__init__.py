@@ -1,0 +1,8 @@
+"""Discrete-event simulation engine."""
+
+from .component import Component
+from .event import Event
+from .scheduler import Scheduler
+from .simulator import Simulator
+
+__all__ = ["Component", "Event", "Scheduler", "Simulator"]

@@ -1,0 +1,48 @@
+"""Base class for simulated hardware components."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..common.stats import StatsRegistry
+from .event import Event
+from .scheduler import Scheduler
+
+
+class Component:
+    """Anything that lives on the simulated clock and records statistics.
+
+    A component holds a reference to the shared :class:`Scheduler` and the
+    run-wide :class:`StatsRegistry`; subclasses use :meth:`schedule` to model
+    latency and the ``stats`` attribute to record metrics under a name prefixed
+    with the component's own name.
+    """
+
+    def __init__(self, name: str, scheduler: Scheduler, stats: StatsRegistry) -> None:
+        self.name = name
+        self.scheduler = scheduler
+        self.stats = stats
+
+    @property
+    def now(self) -> int:
+        """Current simulation time."""
+        return self.scheduler.now
+
+    def schedule(self, delay: int, callback: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``callback`` after ``delay`` cycles, tagged with this component."""
+        return self.scheduler.schedule_after(delay, callback, f"{self.name}:{label}")
+
+    def stat_name(self, suffix: str) -> str:
+        """Fully qualified statistic name for this component."""
+        return f"{self.name}.{suffix}"
+
+    def count(self, suffix: str, amount: int = 1) -> None:
+        """Increment a counter scoped to this component."""
+        self.stats.counter(self.stat_name(suffix)).increment(amount)
+
+    def record(self, suffix: str, value: float) -> None:
+        """Record a sample in a running mean scoped to this component."""
+        self.stats.running_mean(self.stat_name(suffix)).record(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"

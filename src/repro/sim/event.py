@@ -1,0 +1,30 @@
+"""Events scheduled on the discrete-event simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A callback scheduled to run at an absolute simulation time.
+
+    Events compare by ``(time, sequence)`` so that ties are broken by insertion
+    order, which keeps the simulation deterministic for a fixed seed.
+    """
+
+    time: int
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when it is dequeued."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Run the callback unless the event was cancelled."""
+        if not self.cancelled:
+            self.callback()

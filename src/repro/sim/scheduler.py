@@ -1,0 +1,94 @@
+"""The event queue at the heart of the discrete-event simulator."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from ..errors import SimulationError
+from .event import Event
+
+
+class Scheduler:
+    """A time-ordered priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._now = 0
+        self._sequence = 0
+        self._fired = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def fired(self) -> int:
+        """Number of events executed so far."""
+        return self._fired
+
+    def schedule_at(
+        self, time: int, callback: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at absolute cycle ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at {time} before current "
+                f"time {self._now}"
+            )
+        event = Event(time=time, sequence=self._sequence, callback=callback, label=label)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(
+        self, delay: int, callback: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, callback, label)
+
+    def step(self) -> Optional[Event]:
+        """Pop and fire the next non-cancelled event; return it (or None)."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fire()
+            self._fired += 1
+            return event
+        return None
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Run events until the queue drains or a stop condition is met.
+
+        Returns the number of events fired by this call.
+        """
+        fired_before = self._fired
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self._now = until
+                break
+            if max_events is not None and self._fired - fired_before >= max_events:
+                break
+            if stop_when is not None and stop_when():
+                break
+            self.step()
+        return self._fired - fired_before
+
+    def drain(self) -> None:
+        """Discard all pending events without running them."""
+        self._queue.clear()

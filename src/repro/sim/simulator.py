@@ -1,0 +1,49 @@
+"""Top-level simulation facade tying the scheduler and statistics together."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..common.stats import StatsRegistry
+from ..errors import SimulationError
+from .scheduler import Scheduler
+
+
+class Simulator:
+    """Owns the scheduler and statistics registry for one simulation run."""
+
+    def __init__(self) -> None:
+        self.scheduler = Scheduler()
+        self.stats = StatsRegistry()
+        self._finished = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self.scheduler.now
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Run the simulation; see :meth:`Scheduler.run` for the stop rules."""
+        if self._finished:
+            raise SimulationError("simulator has already been finished")
+        return self.scheduler.run(until=until, max_events=max_events, stop_when=stop_when)
+
+    def run_until_quiescent(self, max_events: int = 10_000_000) -> int:
+        """Run until no events remain, guarding against runaway simulations."""
+        fired = self.run(max_events=max_events)
+        if self.scheduler.pending and fired >= max_events:
+            raise SimulationError(
+                f"simulation did not quiesce within {max_events} events; "
+                "a protocol livelock or an unbounded workload is likely"
+            )
+        return fired
+
+    def finish(self) -> None:
+        """Discard pending events and mark the run as complete."""
+        self.scheduler.drain()
+        self._finished = True

@@ -1,0 +1,7 @@
+"""System assembly: sequencers, nodes, and the multiprocessor facade."""
+
+from .multiprocessor import MultiprocessorSystem, RunResult, simulate
+from .node import Node
+from .sequencer import Sequencer
+
+__all__ = ["MultiprocessorSystem", "RunResult", "simulate", "Node", "Sequencer"]

@@ -1,0 +1,180 @@
+"""The simulated multiprocessor: nodes, interconnect, workload, and metrics."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..common.config import ProtocolName, SystemConfig
+from ..errors import SimulationError
+from ..interconnect.network import Interconnect
+from ..protocols.factory import create_controllers
+from ..sim.simulator import Simulator
+from ..workloads.base import Workload
+from .node import Node
+from .sequencer import Sequencer
+
+
+@dataclass
+class RunResult:
+    """Metrics of one completed simulation run.
+
+    ``performance`` is the paper's generic y-axis: operations completed per
+    nanosecond for the microbenchmark, instructions per cycle for the
+    synthetic workloads (both are throughputs, so normalising either against a
+    baseline run gives the plots of Figures 1, 5, 8, 10, 11 and 12).
+    """
+
+    protocol: ProtocolName
+    num_processors: int
+    bandwidth_mb_per_second: float
+    cycles: int
+    operations: int
+    instructions: int
+    misses: int
+    hits: int
+    mean_miss_latency: float
+    mean_link_utilization: float
+    broadcast_fraction: float
+    retries: int
+    nacks: int
+    stats: Dict[str, float]
+
+    @property
+    def operations_per_cycle(self) -> float:
+        """Completed memory operations per cycle (per ns)."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.operations / self.cycles
+
+    @property
+    def instructions_per_cycle(self) -> float:
+        """Aggregate instructions per cycle across all processors."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def performance(self) -> float:
+        """Throughput figure of merit (operations preferred, else instructions)."""
+        if self.instructions:
+            return self.instructions_per_cycle
+        return self.operations_per_cycle
+
+    @property
+    def performance_per_processor(self) -> float:
+        """Throughput per processor (Figure 8's y-axis)."""
+        return self.performance / self.num_processors
+
+
+class MultiprocessorSystem:
+    """Builds and runs one simulated machine for one workload."""
+
+    def __init__(self, config: SystemConfig, workload: Workload) -> None:
+        self.config = config
+        self.workload = workload
+        self.simulator = Simulator()
+        self.stats = self.simulator.stats
+        self.rng = random.Random(config.random_seed)
+        self.interconnect = Interconnect(config, self.simulator.scheduler, self.stats)
+        self.nodes: List[Node] = []
+        workload.bind(config.num_processors, config.cache_block_bytes, self.rng)
+        for node_id in range(config.num_processors):
+            cache, memory = create_controllers(
+                node_id, config, self.interconnect, self.simulator.scheduler, self.stats
+            )
+            sequencer = Sequencer(
+                node_id,
+                config,
+                cache,
+                workload,
+                self.simulator.scheduler,
+                self.stats,
+                self.rng,
+            )
+            node = Node(node_id, cache, memory, sequencer)
+            self.nodes.append(node)
+            self.interconnect.register_node(
+                node_id, node.deliver_ordered, node.deliver_unordered
+            )
+
+    # ----------------------------------------------------------------- running
+
+    def run(
+        self,
+        max_cycles: int = 50_000_000,
+        max_events: int = 20_000_000,
+    ) -> RunResult:
+        """Run until the workload completes on every processor."""
+        for node in self.nodes:
+            node.sequencer.start()
+        self.simulator.run(
+            until=max_cycles,
+            max_events=max_events,
+            stop_when=self._workload_finished,
+        )
+        if not self._workload_finished() and self.simulator.scheduler.pending == 0:
+            raise SimulationError(
+                "simulation quiesced before the workload finished; a protocol "
+                "transaction was lost"
+            )
+        return self.result()
+
+    def _workload_finished(self) -> bool:
+        return all(node.sequencer.done for node in self.nodes)
+
+    # ----------------------------------------------------------------- metrics
+
+    def mean_endpoint_utilization(self) -> float:
+        """Average endpoint link utilization over the whole run (Figure 6)."""
+        now = self.simulator.now
+        if now <= 0:
+            return 0.0
+        return self.interconnect.mean_endpoint_utilization(0, now)
+
+    def broadcast_fraction(self) -> float:
+        """Fraction of coherence requests sent as broadcasts."""
+        counters = self.stats.counters()
+        broadcasts = counters.get("network.ordered.broadcasts", 0)
+        multicasts = counters.get("network.ordered.multicasts", 0)
+        total = broadcasts + multicasts
+        if total == 0:
+            return 0.0
+        return broadcasts / total
+
+    def result(self) -> RunResult:
+        """Snapshot the run's metrics into a :class:`RunResult`."""
+        counters = self.stats.counters()
+        means = self.stats.means()
+        operations = sum(node.sequencer.operations_completed for node in self.nodes)
+        instructions = sum(node.sequencer.instructions for node in self.nodes)
+        misses = sum(node.sequencer.misses for node in self.nodes)
+        hits = sum(node.sequencer.hits for node in self.nodes)
+        return RunResult(
+            protocol=ProtocolName(self.config.protocol),
+            num_processors=self.config.num_processors,
+            bandwidth_mb_per_second=self.config.bandwidth_mb_per_second,
+            cycles=self.simulator.now,
+            operations=operations,
+            instructions=instructions,
+            misses=misses,
+            hits=hits,
+            mean_miss_latency=means.get("system.miss_latency", 0.0),
+            mean_link_utilization=self.mean_endpoint_utilization(),
+            broadcast_fraction=self.broadcast_fraction(),
+            retries=int(counters.get("system.retries", 0)),
+            nacks=int(counters.get("system.nacks", 0)),
+            stats=self.stats.snapshot(),
+        )
+
+
+def simulate(
+    config: SystemConfig,
+    workload: Workload,
+    max_cycles: int = 50_000_000,
+    max_events: int = 20_000_000,
+) -> RunResult:
+    """Convenience wrapper: build a system, run the workload, return metrics."""
+    system = MultiprocessorSystem(config, workload)
+    return system.run(max_cycles=max_cycles, max_events=max_events)

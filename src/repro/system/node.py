@@ -1,0 +1,51 @@
+"""One integrated processor/memory node."""
+
+from __future__ import annotations
+
+from ..errors import ProtocolError
+from ..interconnect.message import DestinationUnit, Message
+from ..protocols.base import CacheControllerBase, MemoryControllerBase
+from .sequencer import Sequencer
+
+
+class Node:
+    """A processor core, its cache controller, and its slice of memory.
+
+    The node owns a single endpoint link to the interconnect (modelled in
+    :mod:`repro.interconnect.link`); messages delivered over that link are
+    dispatched here to the cache controller, the memory controller, or both.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        cache_controller: CacheControllerBase,
+        memory_controller: MemoryControllerBase,
+        sequencer: Sequencer,
+    ) -> None:
+        self.node_id = node_id
+        self.cache_controller = cache_controller
+        self.memory_controller = memory_controller
+        self.sequencer = sequencer
+
+    def deliver_ordered(self, message: Message) -> None:
+        """Dispatch a totally ordered (request network) delivery.
+
+        Every request reaches both controllers on the node: the cache
+        controller snoops it, and the memory controller acts when it is the
+        home for the address.
+        """
+        self.cache_controller.handle_ordered(message)
+        self.memory_controller.handle_ordered(message)
+
+    def deliver_unordered(self, message: Message) -> None:
+        """Dispatch a point-to-point delivery to the targeted controller."""
+        if message.dest_unit is DestinationUnit.CACHE:
+            self.cache_controller.handle_unordered(message)
+        elif message.dest_unit is DestinationUnit.MEMORY:
+            self.memory_controller.handle_unordered(message)
+        else:  # pragma: no cover - enum is exhaustive
+            raise ProtocolError(f"unknown destination unit {message.dest_unit!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.node_id})"

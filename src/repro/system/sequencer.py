@@ -1,0 +1,141 @@
+"""Blocking in-order processor model.
+
+The paper uses a deliberately simple processor model to keep full-system
+multiprocessor simulation tractable: each processor generates blocking
+requests to a unified cache and has at most one outstanding miss.  The
+sequencer here does the same: it asks its workload for the next memory
+reference, waits out the think time (the instructions executed at the
+perfect-memory rate of four per cycle), performs the reference — a hit costs
+nothing further, a miss issues a GETS or GETM through the cache controller and
+blocks until it completes — and repeats.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..common.config import SystemConfig
+from ..common.stats import StatsRegistry
+from ..coherence.transaction import Transaction
+from ..interconnect.message import MessageType
+from ..protocols.base import CacheControllerBase
+from ..sim.component import Component
+from ..sim.scheduler import Scheduler
+from ..workloads.base import MemoryOperation, Workload
+
+
+class Sequencer(Component):
+    """Drives one processor's reference stream through its cache controller."""
+
+    def __init__(
+        self,
+        node_id: int,
+        config: SystemConfig,
+        cache_controller: CacheControllerBase,
+        workload: Workload,
+        scheduler: Scheduler,
+        stats: StatsRegistry,
+        rng: random.Random,
+    ) -> None:
+        super().__init__(f"sequencer{node_id}", scheduler, stats)
+        self.node_id = node_id
+        self.config = config
+        self.cache = cache_controller
+        self.workload = workload
+        self.rng = rng
+        self.operations_completed = 0
+        self.hits = 0
+        self.misses = 0
+        self.instructions = 0
+        self.done = False
+        self._store_tokens = 0
+
+    # ----------------------------------------------------------------- drive
+
+    def start(self) -> None:
+        """Begin issuing the workload's reference stream."""
+        self._fetch_next()
+
+    def _fetch_next(self) -> None:
+        operation = self.workload.next_operation(self.node_id, self.now)
+        if operation is None:
+            self.done = True
+            self.count("finished")
+            return
+        self.schedule(
+            max(0, operation.think_cycles),
+            lambda: self._perform(operation),
+            "perform",
+        )
+
+    def _perform(self, operation: MemoryOperation) -> None:
+        address = self.config.block_address(operation.address)
+        state = self.cache.state_of(address)
+        hit = state.can_write if operation.is_write else state.has_valid_data
+        if hit:
+            self._complete_hit(operation, address)
+            return
+        if self.cache.has_outstanding(address):
+            # A writeback for this block is still in flight (possible when a
+            # workload re-touches a block it just evicted); retry shortly.
+            self.schedule(10, lambda: self._perform(operation), "retry-busy")
+            return
+        self._maybe_evict()
+        self.misses += 1
+        self.count("misses")
+        kind = MessageType.GETM if operation.is_write else MessageType.GETS
+        token = self._next_store_token() if operation.is_write else 0
+        self.cache.issue_request(
+            address,
+            kind,
+            callback=lambda txn: self._complete_miss(operation, txn),
+            store_token=token,
+        )
+
+    # ------------------------------------------------------------ completion
+
+    def _complete_hit(self, operation: MemoryOperation, address: int) -> None:
+        self.hits += 1
+        self.count("hits")
+        block = self.cache.blocks.get(address)
+        if block is not None:
+            block.last_access_time = self.now
+        self._account(operation, latency=0, was_miss=False)
+
+    def _complete_miss(self, operation: MemoryOperation, transaction: Transaction) -> None:
+        block = self.cache.blocks.get(transaction.address)
+        if block is not None:
+            block.last_access_time = self.now
+        self._account(operation, latency=transaction.latency or 0, was_miss=True)
+
+    def _account(self, operation: MemoryOperation, latency: int, was_miss: bool) -> None:
+        self.operations_completed += 1
+        self.instructions += operation.instructions
+        self.stats.counter("system.operations").increment()
+        self.stats.counter("system.instructions").increment(operation.instructions)
+        self.workload.on_complete(self.node_id, operation, latency, was_miss, self.now)
+        self._fetch_next()
+
+    # -------------------------------------------------------------- eviction
+
+    def _maybe_evict(self) -> None:
+        """Evict the least recently used block when the cache is full."""
+        if not self.cache.blocks.is_full():
+            return
+        victim = self.cache.blocks.eviction_candidate()
+        if victim is None:
+            return
+        if self.cache.has_outstanding(victim.address):
+            return
+        if victim.is_owner:
+            self.count("evictions.writeback")
+            self.cache.issue_writeback(victim.address)
+        else:
+            self.count("evictions.silent")
+            victim.invalidate()
+            self.cache.blocks.drop(victim.address)
+
+    def _next_store_token(self) -> int:
+        """A token unique to this (node, store) pair for verification."""
+        self._store_tokens += 1
+        return self.node_id * 1_000_000 + self._store_tokens

@@ -1,0 +1,15 @@
+"""Protocol verification: invariants, value consistency, random testing."""
+
+from .consistency import ConsistencyChecker, ObservedAccess
+from .invariants import InvariantReport, check_invariants
+from .random_tester import RandomProtocolTester, RandomTestResult, run_random_campaign
+
+__all__ = [
+    "ConsistencyChecker",
+    "ObservedAccess",
+    "InvariantReport",
+    "check_invariants",
+    "RandomProtocolTester",
+    "RandomTestResult",
+    "run_random_campaign",
+]

@@ -1,0 +1,110 @@
+"""Value/order consistency checking for completed coherence transactions.
+
+The stand-alone random tester (like the paper's, which uses random
+action/check pairs in the style of Wood et al.) records every completed
+transaction together with the point at which it was ordered.  This module
+holds those observations and checks them against the memory consistency
+argument all three protocols rely on: because requests are totally ordered,
+the value a load observes must be the value written by the most recent store
+to that block ordered before the load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import VerificationError
+
+
+@dataclass(frozen=True)
+class ObservedAccess:
+    """One completed transaction as seen by the checker."""
+
+    node: int
+    address: int
+    is_write: bool
+    token: int
+    order_seq: Optional[int]
+    completion_time: int
+
+
+@dataclass
+class ConsistencyChecker:
+    """Collects observed accesses and validates per-block value ordering."""
+
+    accesses: List[ObservedAccess] = field(default_factory=list)
+
+    def record_write(
+        self, node: int, address: int, token: int, order_seq: Optional[int], time: int
+    ) -> None:
+        """Record a completed store (GETM) and the token it installed."""
+        self.accesses.append(
+            ObservedAccess(node, address, True, token, order_seq, time)
+        )
+
+    def record_read(
+        self, node: int, address: int, token: int, order_seq: Optional[int], time: int
+    ) -> None:
+        """Record a completed load (GETS) and the token it observed."""
+        self.accesses.append(
+            ObservedAccess(node, address, False, token, order_seq, time)
+        )
+
+    # ------------------------------------------------------------------ checks
+
+    def check(self) -> List[str]:
+        """Return a list of violations (empty when every read is consistent)."""
+        violations: List[str] = []
+        per_block: Dict[int, List[ObservedAccess]] = {}
+        for access in self.accesses:
+            per_block.setdefault(access.address, []).append(access)
+        for address, accesses in per_block.items():
+            violations.extend(self._check_block(address, accesses))
+        return violations
+
+    def _check_block(self, address: int, accesses: List[ObservedAccess]) -> List[str]:
+        violations: List[str] = []
+        ordered = [a for a in accesses if a.order_seq is not None]
+        writes = sorted(
+            (a for a in ordered if a.is_write), key=lambda a: a.order_seq
+        )
+        write_tokens = {a.token for a in writes}
+        for read in (a for a in ordered if not a.is_write):
+            expected = 0
+            for write in writes:
+                if write.order_seq < read.order_seq:
+                    expected = write.token
+                else:
+                    break
+            if read.token != expected and read.token not in write_tokens and read.token != 0:
+                violations.append(
+                    f"block 0x{address:x}: P{read.node} read unknown token "
+                    f"{read.token}"
+                )
+            elif read.token != expected:
+                violations.append(
+                    f"block 0x{address:x}: P{read.node} read token {read.token} at "
+                    f"order {read.order_seq} but the latest earlier store wrote "
+                    f"{expected}"
+                )
+        return violations
+
+    def raise_on_violation(self) -> None:
+        """Raise :class:`VerificationError` when any read saw a stale value."""
+        violations = self.check()
+        if violations:
+            summary = "; ".join(violations[:10])
+            raise VerificationError(
+                f"{len(violations)} consistency violation(s): {summary}"
+            )
+
+    @property
+    def reads(self) -> int:
+        """Number of recorded loads."""
+        return sum(1 for access in self.accesses if not access.is_write)
+
+    @property
+    def writes(self) -> int:
+        """Number of recorded stores."""
+        return sum(1 for access in self.accesses if access.is_write)

@@ -1,0 +1,124 @@
+"""Coherence invariants checked over a simulated system's final state.
+
+The paper validates its protocols with a stand-alone random tester plus formal
+methods.  This module provides the invariant checks the random tester (and the
+integration tests) apply to this reproduction:
+
+* **Single owner** — for every block, at most one cache is in M or O.
+* **Exclusive modified** — if some cache holds a block in M, no other cache
+  holds it in S or O.
+* **Owner bit consistency** — if no cache owns a block, its home directory
+  must say memory is the owner (once the system is quiescent).
+* **Data value consistency** — a quiescent block's current value (token) is
+  the value written by the most recent store in coherence order; every cache
+  holding the block in S/O/M and the memory (when memory owns it) must agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ..coherence.state import MOSIState
+from ..errors import VerificationError
+from ..system.multiprocessor import MultiprocessorSystem
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of an invariant sweep over one system."""
+
+    blocks_checked: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation was found."""
+        return not self.violations
+
+    def raise_on_violation(self) -> None:
+        """Raise :class:`VerificationError` if any violation was recorded."""
+        if self.violations:
+            summary = "; ".join(self.violations[:10])
+            raise VerificationError(
+                f"{len(self.violations)} coherence invariant violation(s): {summary}"
+            )
+
+
+def _addresses_in_use(system: MultiprocessorSystem) -> Set[int]:
+    addresses: Set[int] = set()
+    for node in system.nodes:
+        for block in node.cache_controller.blocks:
+            addresses.add(block.address)
+        addresses.update(node.memory_controller.directory.entries().keys())
+    return addresses
+
+
+def check_invariants(
+    system: MultiprocessorSystem, expect_quiescent: bool = True
+) -> InvariantReport:
+    """Check the coherence invariants over every block the system has touched."""
+    report = InvariantReport()
+    for address in sorted(_addresses_in_use(system)):
+        report.blocks_checked += 1
+        _check_block(system, address, report, expect_quiescent)
+    return report
+
+
+def _check_block(
+    system: MultiprocessorSystem,
+    address: int,
+    report: InvariantReport,
+    expect_quiescent: bool,
+) -> None:
+    owners: Dict[int, MOSIState] = {}
+    holders: Dict[int, MOSIState] = {}
+    modified: List[int] = []
+    for node in system.nodes:
+        state = node.cache_controller.state_of(address)
+        if state.is_owner:
+            owners[node.node_id] = state
+        if state.has_valid_data:
+            holders[node.node_id] = state
+        if state is MOSIState.MODIFIED:
+            modified.append(node.node_id)
+
+    if len(owners) > 1:
+        report.violations.append(
+            f"block 0x{address:x}: multiple cache owners {sorted(owners)}"
+        )
+    if modified and len(holders) > 1:
+        report.violations.append(
+            f"block 0x{address:x}: node {modified[0]} is Modified but "
+            f"{sorted(set(holders) - set(modified))} also hold copies"
+        )
+
+    home = system.nodes[system.config.home_node(address)]
+    entry = home.memory_controller.directory.entries().get(address)
+    if expect_quiescent and entry is not None:
+        if not owners and not entry.memory_is_owner and not entry.awaiting_writeback:
+            report.violations.append(
+                f"block 0x{address:x}: no cache owner but home says "
+                f"P{entry.owner} owns it"
+            )
+        if owners and entry.memory_is_owner:
+            report.violations.append(
+                f"block 0x{address:x}: cache {sorted(owners)} owns it but home "
+                "says memory is the owner"
+            )
+
+    # Data value agreement: the owner's token is the truth; sharers must match.
+    if owners:
+        owner_id = next(iter(owners))
+        truth = system.nodes[owner_id].cache_controller.blocks.lookup(address).data_token
+    elif entry is not None and entry.memory_is_owner:
+        truth = entry.data_token
+    else:
+        return
+    for node_id, state in holders.items():
+        token = system.nodes[node_id].cache_controller.blocks.lookup(address).data_token
+        if state is MOSIState.SHARED and token != truth and expect_quiescent:
+            report.violations.append(
+                f"block 0x{address:x}: P{node_id} holds stale token {token} "
+                f"(owner has {truth})"
+            )

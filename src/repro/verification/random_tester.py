@@ -1,0 +1,266 @@
+"""Stand-alone random protocol tester (Section 3.4, "Verification").
+
+The paper gained confidence in Snooping, Directory and BASH by driving each
+protocol with a random tester that uses false sharing, random action/check
+(store/load) pairs, and widely variable message latencies to push the
+controllers through their corner cases.  This module is that tester for the
+reproduction: it drives the cache controllers of a small system directly
+(bypassing the processor sequencers), concentrating all traffic on a handful
+of hot blocks so that racing GETS/GETM/PUTM transactions collide constantly,
+and then checks
+
+* the coherence invariants of :mod:`repro.verification.invariants`, and
+* per-block value consistency (every load returns the token written by the
+  most recent store ordered before it).
+
+Low link bandwidth plus randomised issue times provide the widely variable
+message latencies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..common.config import ProtocolName, SystemConfig
+from ..coherence.state import MOSIState
+from ..coherence.transaction import Transaction
+from ..errors import VerificationError
+from ..interconnect.message import MessageType
+from ..system.multiprocessor import MultiprocessorSystem
+from ..workloads.trace import TraceWorkload
+from .consistency import ConsistencyChecker
+from .invariants import InvariantReport, check_invariants
+
+
+@dataclass
+class RandomTestResult:
+    """Summary of one random-tester campaign."""
+
+    protocol: ProtocolName
+    operations_issued: int
+    operations_completed: int
+    reads: int
+    writes: int
+    writebacks: int
+    retries: int
+    nacks: int
+    invariant_report: InvariantReport
+    consistency_violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every check passed and all operations completed."""
+        return (
+            self.invariant_report.ok
+            and not self.consistency_violations
+            and self.operations_completed == self.operations_issued
+        )
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`VerificationError` describing the first failures."""
+        if self.operations_completed != self.operations_issued:
+            raise VerificationError(
+                f"{self.operations_issued - self.operations_completed} of "
+                f"{self.operations_issued} random operations never completed "
+                f"(protocol {self.protocol})"
+            )
+        self.invariant_report.raise_on_violation()
+        if self.consistency_violations:
+            summary = "; ".join(self.consistency_violations[:10])
+            raise VerificationError(
+                f"consistency violations under {self.protocol}: {summary}"
+            )
+
+
+class RandomProtocolTester:
+    """Drives one protocol through randomised, heavily conflicting traffic."""
+
+    def __init__(
+        self,
+        protocol: ProtocolName,
+        num_processors: int = 4,
+        num_blocks: int = 4,
+        operations: int = 400,
+        seed: int = 1,
+        bandwidth_mb_per_second: float = 400.0,
+        max_outstanding_per_node: int = 1,
+    ) -> None:
+        self.protocol = ProtocolName(protocol)
+        self.num_processors = num_processors
+        self.num_blocks = num_blocks
+        self.operations = operations
+        self.rng = random.Random(seed)
+        self.config = SystemConfig(
+            num_processors=num_processors,
+            protocol=self.protocol,
+            bandwidth_mb_per_second=bandwidth_mb_per_second,
+            random_seed=seed,
+        )
+        empty_traces = {node: [] for node in range(num_processors)}
+        self.system = MultiprocessorSystem(self.config, TraceWorkload(empty_traces))
+        self.checker = ConsistencyChecker()
+        self.max_outstanding_per_node = max_outstanding_per_node
+        self._outstanding: Dict[int, int] = {n: 0 for n in range(num_processors)}
+        self._issued = 0
+        self._completed = 0
+        self._writebacks = 0
+        self._token_counter = 0
+
+    # ----------------------------------------------------------------- driving
+
+    def _address(self, block_index: int) -> int:
+        return block_index * self.config.cache_block_bytes
+
+    def _next_token(self) -> int:
+        self._token_counter += 1
+        return self._token_counter
+
+    def _schedule_next_issue(self, node_id: int) -> None:
+        delay = self.rng.randrange(1, 200)
+        self.system.simulator.scheduler.schedule_after(
+            delay, lambda: self._issue_random(node_id), f"tester-issue-n{node_id}"
+        )
+
+    def _issue_random(self, node_id: int) -> None:
+        if self._issued >= self.operations:
+            return
+        if self._outstanding[node_id] >= self.max_outstanding_per_node:
+            self._schedule_next_issue(node_id)
+            return
+        cache = self.system.nodes[node_id].cache_controller
+        address = self._address(self.rng.randrange(self.num_blocks))
+        state = cache.state_of(address)
+        if cache.has_outstanding(address):
+            self._schedule_next_issue(node_id)
+            return
+        choice = self.rng.random()
+        if choice < 0.15 and state.is_owner:
+            self._issue_writeback(node_id, cache, address)
+        elif choice < 0.55 and not state.can_write:
+            self._issue_write(node_id, cache, address)
+        elif not state.has_valid_data:
+            self._issue_read(node_id, cache, address)
+        elif not state.can_write:
+            self._issue_write(node_id, cache, address)
+        else:
+            # Everything would be a hit; silently drop the block to create a
+            # fresh miss (the protocols allow silent S->I; for owned blocks we
+            # fall back to a writeback).
+            if state is MOSIState.SHARED:
+                cache.blocks.lookup(address).invalidate()
+                cache.blocks.drop(address)
+                self._issue_read(node_id, cache, address)
+            else:
+                self._issue_writeback(node_id, cache, address)
+        self._schedule_next_issue(node_id)
+
+    def _issue_read(self, node_id: int, cache, address: int) -> None:
+        self._issued += 1
+        self._outstanding[node_id] += 1
+        cache.issue_request(
+            address,
+            MessageType.GETS,
+            callback=lambda txn, n=node_id: self._on_read_complete(n, txn),
+        )
+
+    def _issue_write(self, node_id: int, cache, address: int) -> None:
+        self._issued += 1
+        self._outstanding[node_id] += 1
+        token = self._next_token()
+        cache.issue_request(
+            address,
+            MessageType.GETM,
+            callback=lambda txn, n=node_id: self._on_write_complete(n, txn),
+            store_token=token,
+        )
+
+    def _issue_writeback(self, node_id: int, cache, address: int) -> None:
+        self._issued += 1
+        self._outstanding[node_id] += 1
+        self._writebacks += 1
+        cache.issue_writeback(
+            address,
+            callback=lambda txn, n=node_id: self._on_writeback_complete(n, txn),
+        )
+
+    # -------------------------------------------------------------- completion
+
+    def _on_read_complete(self, node_id: int, transaction: Transaction) -> None:
+        self._completed += 1
+        self._outstanding[node_id] -= 1
+        self.checker.record_read(
+            node_id,
+            transaction.address,
+            transaction.received_token,
+            transaction.effective_order_seq,
+            self.system.simulator.now,
+        )
+
+    def _on_write_complete(self, node_id: int, transaction: Transaction) -> None:
+        self._completed += 1
+        self._outstanding[node_id] -= 1
+        self.checker.record_write(
+            node_id,
+            transaction.address,
+            transaction.store_token,
+            transaction.effective_order_seq,
+            self.system.simulator.now,
+        )
+
+    def _on_writeback_complete(self, node_id: int, transaction: Transaction) -> None:
+        self._completed += 1
+        self._outstanding[node_id] -= 1
+
+    # -------------------------------------------------------------------- run
+
+    def run(self, max_cycles: int = 5_000_000) -> RandomTestResult:
+        """Run the campaign to completion and apply every check."""
+        for node_id in range(self.num_processors):
+            self._schedule_next_issue(node_id)
+        self.system.simulator.run(
+            until=max_cycles,
+            stop_when=lambda: (
+                self._issued >= self.operations
+                and self._completed >= self._issued
+                and self.system.simulator.scheduler.pending == 0
+            ),
+        )
+        # Let any in-flight transactions drain.
+        self.system.simulator.run(until=self.system.simulator.now + 200_000)
+        counters = self.system.stats.counters()
+        invariant_report = check_invariants(self.system, expect_quiescent=True)
+        return RandomTestResult(
+            protocol=self.protocol,
+            operations_issued=self._issued,
+            operations_completed=self._completed,
+            reads=self.checker.reads,
+            writes=self.checker.writes,
+            writebacks=self._writebacks,
+            retries=int(counters.get("system.retries", 0)),
+            nacks=int(counters.get("system.nacks", 0)),
+            invariant_report=invariant_report,
+            consistency_violations=self.checker.check(),
+        )
+
+
+def run_random_campaign(
+    protocol: ProtocolName,
+    seeds: range = range(3),
+    operations: int = 300,
+    num_processors: int = 4,
+    num_blocks: int = 4,
+) -> List[RandomTestResult]:
+    """Run several independent random-tester campaigns for one protocol."""
+    results = []
+    for seed in seeds:
+        tester = RandomProtocolTester(
+            protocol,
+            num_processors=num_processors,
+            num_blocks=num_blocks,
+            operations=operations,
+            seed=seed + 1,
+        )
+        results.append(tester.run())
+    return results

@@ -1,0 +1,19 @@
+"""Workloads: the locking microbenchmark, synthetic commercial workloads, traces."""
+
+from .base import MemoryOperation, Workload
+from .microbenchmark import LockingMicrobenchmark
+from .presets import WORKLOAD_ORDER, WORKLOAD_PRESETS, WorkloadPreset, preset
+from .synthetic import SyntheticCommercialWorkload
+from .trace import TraceWorkload
+
+__all__ = [
+    "MemoryOperation",
+    "Workload",
+    "LockingMicrobenchmark",
+    "SyntheticCommercialWorkload",
+    "TraceWorkload",
+    "WorkloadPreset",
+    "WORKLOAD_PRESETS",
+    "WORKLOAD_ORDER",
+    "preset",
+]

@@ -1,0 +1,70 @@
+"""Workload interface driving the per-processor sequencers."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..coherence.state import MOSIState
+
+
+@dataclass
+class MemoryOperation:
+    """One memory reference a processor will perform after some think time.
+
+    ``think_cycles`` models the computation between the previous reference and
+    this one; ``instructions`` is the amount of work it represents for
+    throughput accounting (the paper's processors run four instructions per
+    cycle when the memory system is perfect).
+    """
+
+    address: int
+    is_write: bool
+    think_cycles: int = 0
+    instructions: int = 0
+    label: str = ""
+
+
+class Workload:
+    """Generates the reference stream for every processor.
+
+    A workload is bound to a system before the simulation starts (so it knows
+    the processor count, block size and a seeded random generator), then each
+    sequencer repeatedly asks for its next operation and reports completions.
+    """
+
+    def bind(self, num_processors: int, block_bytes: int, rng: random.Random) -> None:
+        """Attach the workload to a system about to be simulated."""
+        self.num_processors = num_processors
+        self.block_bytes = block_bytes
+        self.rng = rng
+
+    def next_operation(self, node_id: int, now: int) -> Optional[MemoryOperation]:
+        """The next reference for ``node_id``, or None when it should stop."""
+        raise NotImplementedError
+
+    def on_complete(
+        self,
+        node_id: int,
+        operation: MemoryOperation,
+        latency: int,
+        was_miss: bool,
+        now: int,
+    ) -> None:
+        """Called when a reference has been performed."""
+
+    def state_hint(self, node_id: int, address: int, state: MOSIState) -> None:
+        """Optional hook giving the workload the cache state it just touched."""
+
+    def finished(self, node_id: int) -> bool:
+        """True when ``node_id`` has completed its share of the work."""
+        raise NotImplementedError
+
+    def all_finished(self) -> bool:
+        """True when every processor has completed its share of the work."""
+        return all(self.finished(node) for node in range(self.num_processors))
+
+    def describe(self) -> str:
+        """Human-readable one-line description (used by reports)."""
+        return type(self).__name__

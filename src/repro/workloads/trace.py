@@ -1,0 +1,57 @@
+"""Deterministic trace record/replay workload.
+
+Useful for regression tests (replay the exact same reference stream against
+all three protocols) and for users who want to drive the simulator from traces
+captured elsewhere.  A trace is a per-processor list of
+:class:`~repro.workloads.base.MemoryOperation`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..errors import WorkloadError
+from .base import MemoryOperation, Workload
+
+
+class TraceWorkload(Workload):
+    """Replays a fixed per-processor sequence of memory operations."""
+
+    def __init__(self, traces: Dict[int, Sequence[MemoryOperation]]) -> None:
+        if not traces:
+            raise WorkloadError("trace workload needs at least one processor trace")
+        self._traces: Dict[int, List[MemoryOperation]] = {
+            node: list(operations) for node, operations in traces.items()
+        }
+        self._positions: Dict[int, int] = {node: 0 for node in self._traces}
+        self._completed: Dict[int, int] = {node: 0 for node in self._traces}
+
+    @classmethod
+    def single_processor_stream(
+        cls, node_id: int, operations: Iterable[MemoryOperation], num_processors: int
+    ) -> "TraceWorkload":
+        """A trace where only one processor issues references."""
+        traces: Dict[int, Sequence[MemoryOperation]] = {
+            node: [] for node in range(num_processors)
+        }
+        traces[node_id] = list(operations)
+        return cls(traces)
+
+    def next_operation(self, node_id: int, now: int) -> Optional[MemoryOperation]:
+        trace = self._traces.get(node_id, [])
+        position = self._positions.get(node_id, 0)
+        if position >= len(trace):
+            return None
+        self._positions[node_id] = position + 1
+        return trace[position]
+
+    def on_complete(self, node_id, operation, latency, was_miss, now) -> None:
+        self._completed[node_id] = self._completed.get(node_id, 0) + 1
+
+    def finished(self, node_id: int) -> bool:
+        trace = self._traces.get(node_id, [])
+        return self._completed.get(node_id, 0) >= len(trace)
+
+    def describe(self) -> str:
+        total = sum(len(trace) for trace in self._traces.values())
+        return f"TraceWorkload({total} operations, {len(self._traces)} processors)"

@@ -1,0 +1,156 @@
+"""MOSI states, block store, directory entries, transactions."""
+
+import pytest
+
+from repro.coherence.block import CacheBlock
+from repro.coherence.cache_state import CacheBlockStore
+from repro.coherence.directory import DirectoryEntry, DirectoryStore
+from repro.coherence.state import MEMORY_OWNER, MOSIState
+from repro.coherence.transaction import Transaction
+from repro.errors import ProtocolError
+from repro.interconnect.message import MessageType
+
+
+class TestMOSIState:
+    def test_owner_states(self):
+        assert MOSIState.MODIFIED.is_owner
+        assert MOSIState.OWNED.is_owner
+        assert not MOSIState.SHARED.is_owner
+        assert not MOSIState.INVALID.is_owner
+
+    def test_valid_data(self):
+        assert MOSIState.MODIFIED.has_valid_data
+        assert MOSIState.OWNED.has_valid_data
+        assert MOSIState.SHARED.has_valid_data
+        assert not MOSIState.INVALID.has_valid_data
+
+    def test_only_modified_can_write(self):
+        assert MOSIState.MODIFIED.can_write
+        assert not MOSIState.OWNED.can_write
+        assert not MOSIState.SHARED.can_write
+
+
+class TestCacheBlock:
+    def test_become_owner_clears_sharers(self):
+        block = CacheBlock(address=64)
+        block.tracked_sharers.add(3)
+        block.become_owner(data_token=9)
+        assert block.state is MOSIState.MODIFIED
+        assert block.data_token == 9
+        assert not block.tracked_sharers
+
+    def test_invalidate(self):
+        block = CacheBlock(address=64, state=MOSIState.OWNED)
+        block.tracked_sharers.add(1)
+        block.invalidate()
+        assert block.state is MOSIState.INVALID
+        assert not block.tracked_sharers
+
+
+class TestCacheBlockStore:
+    def test_lookup_creates_invalid_block(self):
+        store = CacheBlockStore(capacity_blocks=4)
+        assert store.state_of(64) is MOSIState.INVALID
+        block = store.lookup(64)
+        assert block.state is MOSIState.INVALID
+        assert 64 in store
+
+    def test_occupancy_counts_only_valid_blocks(self):
+        store = CacheBlockStore(capacity_blocks=4)
+        store.lookup(0).state = MOSIState.SHARED
+        store.lookup(64)
+        assert store.occupancy() == 1
+        assert not store.is_full()
+
+    def test_is_full_and_eviction_candidate(self):
+        store = CacheBlockStore(capacity_blocks=2)
+        a = store.lookup(0)
+        a.state = MOSIState.SHARED
+        a.last_access_time = 5
+        b = store.lookup(64)
+        b.state = MOSIState.MODIFIED
+        b.last_access_time = 2
+        assert store.is_full()
+        assert store.eviction_candidate() is b  # least recently used
+
+    def test_compact_drops_invalid_records(self):
+        store = CacheBlockStore(capacity_blocks=4)
+        store.lookup(0)
+        store.lookup(64).state = MOSIState.SHARED
+        assert store.compact() == 1
+        assert len(store) == 1
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ProtocolError):
+            CacheBlockStore(capacity_blocks=0)
+
+
+class TestDirectoryEntry:
+    def test_defaults_to_memory_owner(self):
+        entry = DirectoryEntry(address=0)
+        assert entry.memory_is_owner
+        assert entry.owner == MEMORY_OWNER
+
+    def test_needed_nodes_for_getm(self):
+        entry = DirectoryEntry(address=0, owner=2, sharers={1, 3})
+        assert entry.needed_nodes_for_getm(requester=1) == {2, 3}
+        assert entry.needed_nodes_for_getm(requester=2) == {1, 3}
+
+    def test_needed_nodes_for_gets(self):
+        entry = DirectoryEntry(address=0, owner=2)
+        assert entry.needed_nodes_for_gets(requester=1) == {2}
+        assert entry.needed_nodes_for_gets(requester=2) == set()
+        memory_entry = DirectoryEntry(address=0)
+        assert memory_entry.needed_nodes_for_gets(requester=1) == set()
+
+    def test_sufficiency_check(self):
+        entry = DirectoryEntry(address=0, owner=2, sharers={3})
+        assert entry.is_sufficient(True, 1, frozenset({0, 1, 2, 3}))
+        assert not entry.is_sufficient(True, 1, frozenset({0, 1}))
+        assert entry.is_sufficient(False, 1, frozenset({1, 2}))
+        assert not entry.is_sufficient(False, 1, frozenset({0, 1}))
+
+    def test_grant_exclusive_and_add_sharer(self):
+        entry = DirectoryEntry(address=0)
+        entry.add_sharer(3)
+        entry.grant_exclusive(1)
+        assert entry.owner == 1
+        assert not entry.sharers
+        entry.add_sharer(1)  # owner is never recorded as a sharer
+        assert not entry.sharers
+
+    def test_writeback_to_memory(self):
+        entry = DirectoryEntry(address=0, owner=1, awaiting_writeback=True)
+        entry.writeback_to_memory(data_token=77)
+        assert entry.memory_is_owner
+        assert entry.data_token == 77
+        assert not entry.awaiting_writeback
+
+
+class TestDirectoryStore:
+    def test_lookup_creates_entry(self):
+        store = DirectoryStore()
+        entry = store.lookup(128)
+        assert entry.memory_is_owner
+        assert 128 in store
+        assert len(store) == 1
+
+
+class TestTransaction:
+    def test_latency(self):
+        txn = Transaction(address=0, kind=MessageType.GETM, requester=0, issue_time=100)
+        assert txn.latency is None
+        txn.completion_time = 350
+        assert txn.latency == 250
+
+    def test_marker_and_invalidate_ordering(self):
+        txn = Transaction(address=0, kind=MessageType.GETS, requester=0, issue_time=0)
+        txn.record_marker(10)
+        txn.invalidate_seqs.append(5)
+        assert not txn.invalidated_after()
+        txn.invalidate_seqs.append(15)
+        assert txn.invalidated_after()
+
+    def test_is_write(self):
+        assert Transaction(address=0, kind=MessageType.GETM, requester=0, issue_time=0).is_write
+        assert not Transaction(address=0, kind=MessageType.GETS, requester=0, issue_time=0).is_write

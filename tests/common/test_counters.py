@@ -1,0 +1,86 @@
+"""Saturating counters used by the adaptive mechanism."""
+
+import pytest
+
+from repro.common.counters import SignedSaturatingCounter, UnsignedSaturatingCounter
+from repro.errors import ConfigurationError
+
+
+class TestSignedSaturatingCounter:
+    def test_starts_at_zero(self):
+        assert SignedSaturatingCounter(limit=10).value == 0
+
+    def test_adds_and_subtracts(self):
+        counter = SignedSaturatingCounter(limit=100)
+        counter.add(5)
+        counter.add(-8)
+        assert counter.value == -3
+
+    def test_saturates_high(self):
+        counter = SignedSaturatingCounter(limit=10)
+        counter.add(1000)
+        assert counter.value == 10
+
+    def test_saturates_low(self):
+        counter = SignedSaturatingCounter(limit=10)
+        counter.add(-1000)
+        assert counter.value == -10
+
+    def test_reset(self):
+        counter = SignedSaturatingCounter(limit=10, initial=5)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_paper_example_from_figure_3(self):
+        # 4 busy cycles (+1 each) and 3 idle cycles (-3 each) -> -5.
+        counter = SignedSaturatingCounter(limit=100)
+        for _ in range(4):
+            counter.add(1)
+        for _ in range(3):
+            counter.add(-3)
+        assert counter.value == -5
+
+    def test_rejects_bad_limit_and_initial(self):
+        with pytest.raises(ConfigurationError):
+            SignedSaturatingCounter(limit=0)
+        with pytest.raises(ConfigurationError):
+            SignedSaturatingCounter(limit=5, initial=9)
+        counter = SignedSaturatingCounter(limit=5)
+        with pytest.raises(ConfigurationError):
+            counter.reset(100)
+
+
+class TestUnsignedSaturatingCounter:
+    def test_eight_bit_maximum_is_255(self):
+        assert UnsignedSaturatingCounter(bits=8).maximum == 255
+
+    def test_increment_saturates(self):
+        counter = UnsignedSaturatingCounter(bits=4)
+        for _ in range(100):
+            counter.increment()
+        assert counter.value == 15
+
+    def test_decrement_saturates_at_zero(self):
+        counter = UnsignedSaturatingCounter(bits=4)
+        counter.decrement(5)
+        assert counter.value == 0
+
+    def test_fraction_matches_paper_example(self):
+        # "an 8-bit policy counter with the value of 100 implies that a request
+        #  should be unicast with probability of 100/255 or 39%"
+        counter = UnsignedSaturatingCounter(bits=8, initial=100)
+        assert counter.fraction() == pytest.approx(100 / 255)
+        assert round(counter.fraction(), 2) == pytest.approx(0.39)
+
+    def test_reset_and_validation(self):
+        counter = UnsignedSaturatingCounter(bits=8)
+        counter.reset(42)
+        assert counter.value == 42
+        with pytest.raises(ConfigurationError):
+            counter.reset(300)
+        with pytest.raises(ConfigurationError):
+            counter.increment(-1)
+        with pytest.raises(ConfigurationError):
+            counter.decrement(-1)
+        with pytest.raises(ConfigurationError):
+            UnsignedSaturatingCounter(bits=0)

@@ -1,0 +1,43 @@
+"""Linear feedback shift register."""
+
+import pytest
+
+from repro.common.lfsr import LinearFeedbackShiftRegister
+from repro.errors import ConfigurationError
+
+
+class TestLfsr:
+    def test_deterministic_for_same_seed(self):
+        a = LinearFeedbackShiftRegister(seed=0x1234)
+        b = LinearFeedbackShiftRegister(seed=0x1234)
+        assert [a.next_int(8) for _ in range(20)] == [b.next_int(8) for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = LinearFeedbackShiftRegister(seed=0x1234)
+        b = LinearFeedbackShiftRegister(seed=0x4321)
+        assert [a.next_int(8) for _ in range(20)] != [b.next_int(8) for _ in range(20)]
+
+    def test_values_fit_requested_width(self):
+        lfsr = LinearFeedbackShiftRegister(seed=0xBEEF)
+        for _ in range(200):
+            value = lfsr.next_int(8)
+            assert 0 <= value <= 255
+
+    def test_eight_bit_register_has_maximal_period(self):
+        lfsr = LinearFeedbackShiftRegister(seed=0x1D, width=8)
+        assert lfsr.period_is_maximal()
+
+    def test_rejects_zero_seed_and_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            LinearFeedbackShiftRegister(seed=0)
+        with pytest.raises(ConfigurationError):
+            LinearFeedbackShiftRegister(seed=1, width=7)
+        lfsr = LinearFeedbackShiftRegister(seed=1)
+        with pytest.raises(ConfigurationError):
+            lfsr.next_bits(0)
+
+    def test_roughly_uniform_distribution(self):
+        lfsr = LinearFeedbackShiftRegister(seed=0xACE1)
+        samples = [lfsr.next_int(8) for _ in range(4000)]
+        mean = sum(samples) / len(samples)
+        assert 110 < mean < 145  # uniform mean would be 127.5

@@ -1,0 +1,100 @@
+"""Statistics primitives."""
+
+import pytest
+
+from repro.common.stats import Counter, Histogram, RunningMean, StatsRegistry
+
+
+class TestCounter:
+    def test_increment(self):
+        counter = Counter("x")
+        counter.increment()
+        counter.increment(4)
+        assert counter.count == 5
+
+    def test_reset(self):
+        counter = Counter("x")
+        counter.increment(3)
+        counter.reset()
+        assert counter.count == 0
+
+
+class TestRunningMean:
+    def test_mean_and_extrema(self):
+        mean = RunningMean("lat")
+        mean.record_many([10, 20, 30])
+        assert mean.mean == pytest.approx(20)
+        assert mean.minimum == 10
+        assert mean.maximum == 30
+        assert mean.total == 60
+        assert mean.count == 3
+
+    def test_variance(self):
+        mean = RunningMean("x")
+        mean.record_many([2, 4, 4, 4, 5, 5, 7, 9])
+        assert mean.variance == pytest.approx(4.0)
+        assert mean.std_dev == pytest.approx(2.0)
+
+    def test_empty_is_zero(self):
+        mean = RunningMean("x")
+        assert mean.mean == 0.0
+        assert mean.variance == 0.0
+
+    def test_reset(self):
+        mean = RunningMean("x")
+        mean.record(5)
+        mean.reset()
+        assert mean.count == 0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = Histogram("lat", bucket_width=10, bucket_count=5)
+        for value in (1, 11, 12, 49, 1000):
+            hist.record(value)
+        buckets = hist.buckets
+        assert buckets[0] == 1
+        assert buckets[1] == 2
+        assert buckets[4] == 1
+        assert buckets[5] == 1  # overflow
+        assert hist.count == 5
+
+    def test_percentile(self):
+        hist = Histogram("lat", bucket_width=10, bucket_count=10)
+        for value in range(100):
+            hist.record(value)
+        assert hist.percentile(0.5) == pytest.approx(50, abs=10)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Histogram("x", bucket_width=0, bucket_count=5)
+        with pytest.raises(ValueError):
+            Histogram("x", bucket_width=1, bucket_count=0)
+
+
+class TestStatsRegistry:
+    def test_counters_and_means_are_singletons(self):
+        registry = StatsRegistry()
+        registry.counter("a").increment()
+        registry.counter("a").increment()
+        registry.running_mean("m").record(4)
+        assert registry.counters()["a"] == 2
+        assert registry.means()["m"] == 4
+
+    def test_snapshot_merges_counters_and_means(self):
+        registry = StatsRegistry()
+        registry.counter("a").increment(3)
+        registry.running_mean("m").record(2.5)
+        snapshot = registry.snapshot()
+        assert snapshot["a"] == 3.0
+        assert snapshot["m"] == 2.5
+
+    def test_reset(self):
+        registry = StatsRegistry()
+        registry.counter("a").increment(3)
+        registry.running_mean("m").record(2.5)
+        registry.reset()
+        assert registry.counters()["a"] == 0
+        assert registry.means()["m"] == 0.0

@@ -1,0 +1,53 @@
+"""Unit conversions."""
+
+import pytest
+
+from repro.common import units
+from repro.errors import ConfigurationError
+
+
+class TestBandwidthConversion:
+    def test_1600_mb_per_second_is_1_point_6_bytes_per_cycle(self):
+        assert units.mb_per_second_to_bytes_per_cycle(1600) == pytest.approx(1.6)
+
+    def test_round_trip(self):
+        for mb in (100, 800, 1600, 6400, 25600):
+            bpc = units.mb_per_second_to_bytes_per_cycle(mb)
+            assert units.bytes_per_cycle_to_mb_per_second(bpc) == pytest.approx(mb)
+
+    def test_rejects_non_positive_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            units.mb_per_second_to_bytes_per_cycle(0)
+        with pytest.raises(ConfigurationError):
+            units.bytes_per_cycle_to_mb_per_second(-1)
+
+
+class TestTransferCycles:
+    def test_data_message_at_1600_mbps(self):
+        # 72 bytes at 1.6 bytes/cycle -> 45 cycles.
+        assert units.transfer_cycles(72, 1.6) == 45
+
+    def test_request_message_at_1600_mbps(self):
+        assert units.transfer_cycles(8, 1.6) == 5
+
+    def test_minimum_one_cycle(self):
+        assert units.transfer_cycles(1, 100.0) == 1
+
+    def test_rounds_up(self):
+        assert units.transfer_cycles(10, 3.0) == 4
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            units.transfer_cycles(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            units.transfer_cycles(8, 0.0)
+
+
+class TestNanoseconds:
+    def test_identity_at_one_ghz(self):
+        assert units.nanoseconds_to_cycles(50) == 50
+        assert units.nanoseconds_to_cycles(80) == 80
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            units.nanoseconds_to_cycles(-1)

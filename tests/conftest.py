@@ -1,0 +1,71 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import AdaptiveConfig, ProtocolName, SystemConfig
+from repro.system.multiprocessor import MultiprocessorSystem, simulate
+from repro.workloads.microbenchmark import LockingMicrobenchmark
+from repro.workloads.trace import TraceWorkload
+
+#: The three protocols, in the order the paper lists them.
+ALL_PROTOCOLS = (ProtocolName.SNOOPING, ProtocolName.DIRECTORY, ProtocolName.BASH)
+
+#: Adaptive configuration that reaches its operating point in short test runs.
+FAST_ADAPTIVE = AdaptiveConfig(sampling_interval=64, policy_counter_bits=5)
+
+
+def small_config(
+    protocol: ProtocolName,
+    num_processors: int = 4,
+    bandwidth: float = 3200.0,
+    seed: int = 1,
+    **overrides,
+) -> SystemConfig:
+    """A small system configuration suitable for unit/integration tests."""
+    return SystemConfig(
+        num_processors=num_processors,
+        protocol=protocol,
+        bandwidth_mb_per_second=bandwidth,
+        adaptive=overrides.pop("adaptive", FAST_ADAPTIVE),
+        random_seed=seed,
+        **overrides,
+    )
+
+
+def run_microbenchmark(
+    protocol: ProtocolName,
+    num_processors: int = 4,
+    bandwidth: float = 3200.0,
+    acquires: int = 30,
+    num_locks: int = 64,
+    seed: int = 1,
+    think_cycles: int = 0,
+):
+    """Run a short locking-microbenchmark simulation and return its result."""
+    config = small_config(protocol, num_processors, bandwidth, seed)
+    workload = LockingMicrobenchmark(
+        num_locks=num_locks,
+        acquires_per_processor=acquires,
+        think_cycles=think_cycles,
+    )
+    return simulate(config, workload)
+
+
+def build_trace_system(
+    protocol: ProtocolName,
+    traces,
+    num_processors: int = 4,
+    bandwidth: float = 100_000.0,
+    **overrides,
+) -> MultiprocessorSystem:
+    """Build (but do not run) a system driven by an explicit trace."""
+    config = small_config(protocol, num_processors, bandwidth, **overrides)
+    return MultiprocessorSystem(config, TraceWorkload(traces))
+
+
+@pytest.fixture(params=ALL_PROTOCOLS, ids=[str(p) for p in ALL_PROTOCOLS])
+def protocol(request) -> ProtocolName:
+    """Parametrised fixture running a test once per protocol."""
+    return request.param

@@ -1,0 +1,135 @@
+"""Qualitative claims of the evaluation, checked end-to-end on small systems.
+
+These are the headline behaviours of Figures 1, 5, 6, 8 and 9: Directory wins
+when bandwidth is scarce, Snooping wins when bandwidth is plentiful, and BASH
+tracks whichever is better (and is never far from the best static choice).
+The systems here are smaller and the runs shorter than the paper's, so the
+assertions are deliberately qualitative.
+"""
+
+import pytest
+
+from repro.common.config import AdaptiveConfig, ProtocolName, SystemConfig
+from repro.system.multiprocessor import simulate
+from repro.workloads.microbenchmark import LockingMicrobenchmark
+
+FAST_ADAPTIVE = AdaptiveConfig(sampling_interval=128, policy_counter_bits=6)
+
+
+def run(protocol, bandwidth, processors=16, acquires=60, think=0, seed=1,
+        broadcast_cost_factor=1.0):
+    config = SystemConfig(
+        num_processors=processors,
+        protocol=protocol,
+        bandwidth_mb_per_second=bandwidth,
+        adaptive=FAST_ADAPTIVE,
+        broadcast_cost_factor=broadcast_cost_factor,
+        random_seed=seed,
+    )
+    workload = LockingMicrobenchmark(
+        num_locks=512, acquires_per_processor=acquires, think_cycles=think
+    )
+    return simulate(config, workload)
+
+
+LOW_BANDWIDTH = 200.0
+HIGH_BANDWIDTH = 25_600.0
+
+
+class TestBandwidthExtremes:
+    def test_directory_beats_snooping_at_low_bandwidth(self):
+        # At 16 processors the static crossover sits below the bandwidths we
+        # can afford to sweep in CI, so (exactly as the paper does in Figure
+        # 11) we raise the relative cost of broadcasting to emulate a larger
+        # system and probe the bandwidth-starved regime.
+        directory = run(ProtocolName.DIRECTORY, LOW_BANDWIDTH, broadcast_cost_factor=4.0)
+        snooping = run(ProtocolName.SNOOPING, LOW_BANDWIDTH, broadcast_cost_factor=4.0)
+        assert directory.performance > snooping.performance
+
+    def test_snooping_beats_directory_at_high_bandwidth(self):
+        snooping = run(ProtocolName.SNOOPING, HIGH_BANDWIDTH)
+        directory = run(ProtocolName.DIRECTORY, HIGH_BANDWIDTH)
+        assert snooping.performance > directory.performance
+
+    def test_bash_tracks_directory_at_low_bandwidth(self):
+        bash = run(ProtocolName.BASH, LOW_BANDWIDTH, acquires=90, broadcast_cost_factor=4.0)
+        directory = run(ProtocolName.DIRECTORY, LOW_BANDWIDTH, acquires=90, broadcast_cost_factor=4.0)
+        snooping = run(ProtocolName.SNOOPING, LOW_BANDWIDTH, acquires=90, broadcast_cost_factor=4.0)
+        assert bash.performance > snooping.performance
+        # Within ~25% of Directory (the paper reports within ~10% with much
+        # longer runs for the adaptation to settle).
+        assert bash.performance > 0.75 * directory.performance
+
+    def test_bash_tracks_snooping_at_high_bandwidth(self):
+        bash = run(ProtocolName.BASH, HIGH_BANDWIDTH)
+        snooping = run(ProtocolName.SNOOPING, HIGH_BANDWIDTH)
+        assert bash.performance > 0.9 * snooping.performance
+
+    def test_bash_mostly_unicasts_when_bandwidth_is_scarce(self):
+        bash = run(ProtocolName.BASH, LOW_BANDWIDTH, acquires=90, broadcast_cost_factor=4.0)
+        assert bash.broadcast_fraction < 0.5
+
+    def test_bash_mostly_broadcasts_when_bandwidth_is_plentiful(self):
+        bash = run(ProtocolName.BASH, HIGH_BANDWIDTH)
+        assert bash.broadcast_fraction > 0.8
+
+
+class TestUtilizationClaims:
+    def test_snooping_saturates_its_links_at_low_bandwidth(self):
+        snooping = run(ProtocolName.SNOOPING, LOW_BANDWIDTH, broadcast_cost_factor=4.0)
+        assert snooping.mean_link_utilization > 0.85
+
+    def test_directory_underutilizes_plentiful_bandwidth(self):
+        directory = run(ProtocolName.DIRECTORY, HIGH_BANDWIDTH)
+        assert directory.mean_link_utilization < 0.3
+
+    def test_snooping_uses_more_bandwidth_than_directory_everywhere(self):
+        for bandwidth in (LOW_BANDWIDTH, 1600.0, HIGH_BANDWIDTH):
+            snooping = run(ProtocolName.SNOOPING, bandwidth, acquires=40)
+            directory = run(ProtocolName.DIRECTORY, bandwidth, acquires=40)
+            assert snooping.mean_link_utilization > directory.mean_link_utilization
+
+
+class TestLatencyAndIntensityClaims:
+    def test_miss_latency_grows_when_bandwidth_shrinks(self):
+        for protocol in (ProtocolName.SNOOPING, ProtocolName.DIRECTORY, ProtocolName.BASH):
+            scarce = run(protocol, LOW_BANDWIDTH, acquires=40)
+            plentiful = run(protocol, HIGH_BANDWIDTH, acquires=40)
+            assert scarce.mean_miss_latency > plentiful.mean_miss_latency
+
+    def test_think_time_relieves_snooping_congestion(self):
+        # Figure 9: decreasing workload intensity (more think time) shrinks the
+        # average miss latency of the bandwidth-hungry protocol.
+        busy = run(ProtocolName.SNOOPING, 800.0, acquires=40, think=0)
+        relaxed = run(ProtocolName.SNOOPING, 800.0, acquires=40, think=800)
+        assert relaxed.mean_miss_latency < busy.mean_miss_latency
+
+    def test_broadcast_cost_factor_hurts_snooping_more_than_directory(self):
+        snooping_1x = run(ProtocolName.SNOOPING, 1600.0, acquires=40)
+        snooping_4x = run(ProtocolName.SNOOPING, 1600.0, acquires=40, broadcast_cost_factor=4.0)
+        directory_1x = run(ProtocolName.DIRECTORY, 1600.0, acquires=40)
+        directory_4x = run(ProtocolName.DIRECTORY, 1600.0, acquires=40, broadcast_cost_factor=4.0)
+        snooping_loss = snooping_4x.performance / snooping_1x.performance
+        directory_loss = directory_4x.performance / directory_1x.performance
+        assert snooping_loss < directory_loss
+
+
+class TestScalingClaims:
+    def test_directory_scales_better_than_snooping(self):
+        # Figure 8: with fixed per-processor bandwidth, Snooping's per-processor
+        # performance degrades faster than Directory's as the system grows.
+        # The 4x broadcast cost stands in for the larger systems the paper
+        # sweeps (its Figure 8 goes to 256 processors).
+        small_snoop = run(ProtocolName.SNOOPING, 1600.0, processors=4, acquires=40,
+                          broadcast_cost_factor=4.0)
+        big_snoop = run(ProtocolName.SNOOPING, 1600.0, processors=32, acquires=40,
+                        broadcast_cost_factor=4.0)
+        small_dir = run(ProtocolName.DIRECTORY, 1600.0, processors=4, acquires=40,
+                        broadcast_cost_factor=4.0)
+        big_dir = run(ProtocolName.DIRECTORY, 1600.0, processors=32, acquires=40,
+                      broadcast_cost_factor=4.0)
+        snoop_scaling = (big_snoop.performance / 32) / (small_snoop.performance / 4)
+        dir_scaling = (big_dir.performance / 32) / (small_dir.performance / 4)
+        assert dir_scaling > snoop_scaling
+        assert snoop_scaling < 0.75  # snooping visibly degrades
+        assert dir_scaling > 0.7     # directory stays nearly flat

@@ -1,0 +1,73 @@
+"""Endpoint link bandwidth, FIFO occupancy and utilization accounting."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.interconnect.link import EndpointLink, LinkPair
+
+
+class TestEndpointLink:
+    def test_occupancy_matches_size_over_bandwidth(self):
+        link = EndpointLink("l", bytes_per_cycle=1.6)
+        assert link.occupancy_cycles(72) == 45
+        assert link.occupancy_cycles(8) == 5
+
+    def test_broadcast_cost_factor_multiplies_occupancy(self):
+        link = EndpointLink("l", bytes_per_cycle=1.6)
+        assert link.occupancy_cycles(8, cost_factor=4.0) == 20
+
+    def test_transmit_when_idle(self):
+        link = EndpointLink("l", bytes_per_cycle=2.0)
+        assert link.transmit(now=100, size_bytes=8) == 104
+        assert link.busy_until == 104
+
+    def test_transmit_queues_fifo_behind_busy_link(self):
+        link = EndpointLink("l", bytes_per_cycle=2.0)
+        first = link.transmit(now=0, size_bytes=72)   # 36 cycles -> done at 36
+        second = link.transmit(now=10, size_bytes=8)  # waits, 4 cycles -> 40
+        assert first == 36
+        assert second == 40
+
+    def test_busy_time_accounting(self):
+        link = EndpointLink("l", bytes_per_cycle=2.0)
+        link.transmit(now=0, size_bytes=20)    # busy 0-10
+        link.transmit(now=50, size_bytes=20)   # busy 50-60
+        assert link.busy_time_up_to(10) == 10
+        assert link.busy_time_up_to(50) == 10
+        assert link.busy_time_up_to(55) == 15
+        assert link.busy_time_up_to(100) == 20
+
+    def test_utilization_window(self):
+        link = EndpointLink("l", bytes_per_cycle=1.0)
+        link.transmit(now=0, size_bytes=50)
+        assert link.utilization(0, 100) == pytest.approx(0.5)
+        assert link.utilization(0, 50) == pytest.approx(1.0)
+        assert link.utilization(50, 100) == pytest.approx(0.0)
+
+    def test_counters(self):
+        link = EndpointLink("l", bytes_per_cycle=1.0)
+        link.transmit(now=0, size_bytes=8)
+        link.transmit(now=0, size_bytes=72)
+        assert link.messages_carried == 2
+        assert link.bytes_carried == 80
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            EndpointLink("l", bytes_per_cycle=0)
+        link = EndpointLink("l", bytes_per_cycle=1.0)
+        with pytest.raises(NetworkError):
+            link.occupancy_cycles(0)
+        with pytest.raises(NetworkError):
+            link.occupancy_cycles(8, cost_factor=0.5)
+
+
+class TestLinkPair:
+    def test_utilization_is_bottleneck_direction(self):
+        pair = LinkPair(0, bytes_per_cycle=1.0)
+        pair.incoming.transmit(now=0, size_bytes=80)
+        pair.outgoing.transmit(now=0, size_bytes=20)
+        assert pair.utilization(0, 100) == pytest.approx(0.8)
+
+    def test_idle_pair_has_zero_utilization(self):
+        pair = LinkPair(3, bytes_per_cycle=1.0)
+        assert pair.utilization(0, 100) == 0.0

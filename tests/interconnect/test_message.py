@@ -1,0 +1,57 @@
+"""Coherence message objects."""
+
+from repro.interconnect.message import DestinationUnit, Message, MessageType
+
+
+class TestMessage:
+    def test_request_kind_unwraps_forwards(self):
+        fwd = Message(
+            msg_type=MessageType.FWD_GETM,
+            src=0,
+            address=64,
+            size_bytes=8,
+            requester=1,
+        )
+        assert fwd.request_kind is MessageType.GETM
+        fwd_s = Message(
+            msg_type=MessageType.FWD_GETS,
+            src=0,
+            address=64,
+            size_bytes=8,
+            requester=1,
+        )
+        assert fwd_s.request_kind is MessageType.GETS
+
+    def test_request_kind_of_plain_request(self):
+        msg = Message(
+            msg_type=MessageType.GETS, src=0, address=0, size_bytes=8, requester=0
+        )
+        assert msg.request_kind is MessageType.GETS
+
+    def test_copy_for_retry_increments_retry_count(self):
+        original = Message(
+            msg_type=MessageType.GETM,
+            src=2,
+            address=128,
+            size_bytes=8,
+            requester=2,
+            transaction_id=7,
+        )
+        retry = original.copy_for_retry(frozenset({0, 2}), broadcast=False)
+        assert retry.is_retry
+        assert retry.retry_count == 1
+        assert retry.recipients == frozenset({0, 2})
+        assert retry.transaction_id == 7
+        assert retry.msg_id != original.msg_id
+        second = retry.copy_for_retry(frozenset({0, 1, 2, 3}), broadcast=True)
+        assert second.retry_count == 2
+        assert second.is_broadcast
+
+    def test_message_ids_are_unique(self):
+        a = Message(msg_type=MessageType.GETS, src=0, address=0, size_bytes=8, requester=0)
+        b = Message(msg_type=MessageType.GETS, src=0, address=0, size_bytes=8, requester=0)
+        assert a.msg_id != b.msg_id
+
+    def test_default_destination_unit_is_cache(self):
+        msg = Message(msg_type=MessageType.DATA, src=0, address=0, size_bytes=72, requester=1)
+        assert msg.dest_unit is DestinationUnit.CACHE

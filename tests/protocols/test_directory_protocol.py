@@ -1,0 +1,127 @@
+"""Behaviour of the GS320-style Directory protocol on directed scenarios."""
+
+from repro.coherence.state import MEMORY_OWNER, MOSIState
+from repro.common.config import ProtocolName
+from repro.workloads.base import MemoryOperation
+
+from ..conftest import build_trace_system
+
+
+def run_trace(operations, num_processors=4, bandwidth=100_000.0):
+    system = build_trace_system(
+        ProtocolName.DIRECTORY, operations, num_processors, bandwidth
+    )
+    system.run(max_cycles=2_000_000)
+    return system
+
+
+class TestDirectoryBasics:
+    def test_memory_response_for_cold_store(self):
+        system = run_trace({0: [MemoryOperation(address=0, is_write=True)], 1: [], 2: [], 3: []})
+        assert system.nodes[0].cache_controller.state_of(0) is MOSIState.MODIFIED
+        home = system.config.home_node(0)
+        entry = system.nodes[home].memory_controller.directory.lookup(0)
+        assert entry.owner == 0
+
+    def test_directory_tracks_sharers(self):
+        system = run_trace(
+            {
+                0: [MemoryOperation(address=0, is_write=False)],
+                1: [MemoryOperation(address=0, is_write=False)],
+                2: [],
+                3: [],
+            }
+        )
+        home = system.config.home_node(0)
+        entry = system.nodes[home].memory_controller.directory.lookup(0)
+        assert {0, 1}.issubset(entry.sharers)
+        assert entry.memory_is_owner
+
+    def test_forwarded_getm_invalidates_sharers(self):
+        system = run_trace(
+            {
+                0: [MemoryOperation(address=0, is_write=False)],
+                1: [MemoryOperation(address=0, is_write=False)],
+                2: [MemoryOperation(address=0, is_write=True, think_cycles=2500)],
+                3: [],
+            }
+        )
+        assert system.nodes[0].cache_controller.state_of(0) is MOSIState.INVALID
+        assert system.nodes[1].cache_controller.state_of(0) is MOSIState.INVALID
+        assert system.nodes[2].cache_controller.state_of(0) is MOSIState.MODIFIED
+        home = system.config.home_node(0)
+        entry = system.nodes[home].memory_controller.directory.lookup(0)
+        assert entry.owner == 2
+        assert not entry.sharers
+
+    def test_forwarded_gets_served_by_owner(self):
+        system = run_trace(
+            {
+                0: [MemoryOperation(address=0, is_write=True)],
+                1: [MemoryOperation(address=0, is_write=False, think_cycles=2500)],
+                2: [],
+                3: [],
+            }
+        )
+        assert system.nodes[0].cache_controller.state_of(0) is MOSIState.OWNED
+        assert system.nodes[1].cache_controller.state_of(0) is MOSIState.SHARED
+        # The directory still records the original writer as the owner.
+        home = system.config.home_node(0)
+        entry = system.nodes[home].memory_controller.directory.lookup(0)
+        assert entry.owner == 0
+        assert 1 in entry.sharers
+
+    def test_tokens_propagate_through_forwarding(self):
+        system = run_trace(
+            {
+                0: [MemoryOperation(address=0, is_write=True)],
+                1: [MemoryOperation(address=0, is_write=False, think_cycles=2500)],
+                2: [],
+                3: [],
+            }
+        )
+        writer_token = system.nodes[0].cache_controller.blocks.lookup(0).data_token
+        reader_token = system.nodes[1].cache_controller.blocks.lookup(0).data_token
+        assert writer_token == reader_token != 0
+
+
+class TestDirectoryWritebacks:
+    def test_accepted_writeback_returns_ownership_to_memory(self):
+        system = build_trace_system(
+            ProtocolName.DIRECTORY, {0: [MemoryOperation(address=0, is_write=True)], 1: [], 2: [], 3: []}
+        )
+        system.run(max_cycles=1_000_000)
+        cache0 = system.nodes[0].cache_controller
+        done = []
+        cache0.issue_writeback(0, callback=lambda txn: done.append(txn))
+        system.simulator.run(until=system.simulator.now + 100_000)
+        assert done
+        assert cache0.state_of(0) is MOSIState.INVALID
+        home = system.config.home_node(0)
+        entry = system.nodes[home].memory_controller.directory.lookup(0)
+        assert entry.owner == MEMORY_OWNER
+        assert entry.data_token != 0
+
+    def test_stale_writeback_is_rejected_after_ownership_moved(self):
+        # P0 owns the block, P1 takes it over, and P0's writeback (issued in
+        # the window before P0 observes the forwarded GETM) must be nacked.
+        system = build_trace_system(
+            ProtocolName.DIRECTORY,
+            {
+                0: [MemoryOperation(address=0, is_write=True)],
+                1: [MemoryOperation(address=0, is_write=True, think_cycles=1200)],
+                2: [],
+                3: [],
+            },
+            bandwidth=800.0,
+        )
+        system.run(max_cycles=1100)
+        cache0 = system.nodes[0].cache_controller
+        if cache0.state_of(0).is_owner:
+            cache0.issue_writeback(0)
+        system.simulator.run(until=2_000_000)
+        home = system.config.home_node(0)
+        entry = system.nodes[home].memory_controller.directory.lookup(0)
+        # P1 must end up the owner; P0's data must not have overwritten it.
+        assert entry.owner == 1
+        assert system.nodes[1].cache_controller.state_of(0) is MOSIState.MODIFIED

@@ -1,0 +1,143 @@
+"""Behaviour of the Snooping protocol on small directed scenarios."""
+
+import pytest
+
+from repro.coherence.state import MOSIState
+from repro.common.config import ProtocolName
+from repro.errors import ProtocolError
+from repro.interconnect.message import MessageType
+from repro.workloads.base import MemoryOperation
+
+from ..conftest import build_trace_system
+
+
+def run_trace(operations, protocol=ProtocolName.SNOOPING, num_processors=4, bandwidth=100_000.0):
+    system = build_trace_system(protocol, operations, num_processors, bandwidth)
+    system.run(max_cycles=2_000_000)
+    return system
+
+
+class TestSnoopingBasics:
+    def test_store_miss_makes_requester_modified(self):
+        ops = {0: [MemoryOperation(address=0, is_write=True)], 1: [], 2: [], 3: []}
+        system = run_trace(ops)
+        assert system.nodes[0].cache_controller.state_of(0) is MOSIState.MODIFIED
+
+    def test_load_miss_makes_requester_shared(self):
+        ops = {0: [MemoryOperation(address=64, is_write=False)], 1: [], 2: [], 3: []}
+        system = run_trace(ops)
+        assert system.nodes[0].cache_controller.state_of(64) is MOSIState.SHARED
+
+    def test_cache_to_cache_transfer_downgrades_owner_to_owned(self):
+        ops = {
+            0: [MemoryOperation(address=0, is_write=True)],
+            1: [MemoryOperation(address=0, is_write=False, think_cycles=1500)],
+            2: [],
+            3: [],
+        }
+        system = run_trace(ops)
+        assert system.nodes[0].cache_controller.state_of(0) is MOSIState.OWNED
+        assert system.nodes[1].cache_controller.state_of(0) is MOSIState.SHARED
+
+    def test_second_writer_invalidates_first(self):
+        ops = {
+            0: [MemoryOperation(address=0, is_write=True)],
+            1: [MemoryOperation(address=0, is_write=True, think_cycles=1500)],
+            2: [],
+            3: [],
+        }
+        system = run_trace(ops)
+        assert system.nodes[0].cache_controller.state_of(0) is MOSIState.INVALID
+        assert system.nodes[1].cache_controller.state_of(0) is MOSIState.MODIFIED
+
+    def test_store_invalidates_all_sharers(self):
+        ops = {
+            0: [MemoryOperation(address=0, is_write=False)],
+            1: [MemoryOperation(address=0, is_write=False)],
+            2: [MemoryOperation(address=0, is_write=True, think_cycles=2000)],
+            3: [],
+        }
+        system = run_trace(ops)
+        assert system.nodes[0].cache_controller.state_of(0) is MOSIState.INVALID
+        assert system.nodes[1].cache_controller.state_of(0) is MOSIState.INVALID
+        assert system.nodes[2].cache_controller.state_of(0) is MOSIState.MODIFIED
+
+    def test_data_token_travels_with_ownership(self):
+        ops = {
+            0: [MemoryOperation(address=0, is_write=True)],
+            1: [MemoryOperation(address=0, is_write=False, think_cycles=1500)],
+            2: [],
+            3: [],
+        }
+        system = run_trace(ops)
+        owner_token = system.nodes[0].cache_controller.blocks.lookup(0).data_token
+        sharer_token = system.nodes[1].cache_controller.blocks.lookup(0).data_token
+        assert owner_token == sharer_token
+        assert owner_token != 0
+
+    def test_memory_owner_bit_cleared_by_getm(self):
+        ops = {0: [MemoryOperation(address=0, is_write=True)], 1: [], 2: [], 3: []}
+        system = run_trace(ops)
+        home = system.config.home_node(0)
+        entry = system.nodes[home].memory_controller.directory.lookup(0)
+        assert not entry.memory_is_owner
+
+
+class TestSnoopingWritebacks:
+    def test_writeback_returns_ownership_to_memory(self):
+        ops = {0: [MemoryOperation(address=0, is_write=True)], 1: [], 2: [], 3: []}
+        system = build_trace_system(ProtocolName.SNOOPING, ops)
+        system.run(max_cycles=1_000_000)
+        cache0 = system.nodes[0].cache_controller
+        done = []
+        cache0.issue_writeback(0, callback=lambda txn: done.append(txn))
+        system.simulator.run(until=system.simulator.now + 100_000)
+        assert done
+        assert cache0.state_of(0) is MOSIState.INVALID
+        home = system.config.home_node(0)
+        entry = system.nodes[home].memory_controller.directory.lookup(0)
+        assert entry.memory_is_owner
+        assert entry.data_token != 0
+
+    def test_data_survives_writeback_then_read(self):
+        ops = {
+            0: [MemoryOperation(address=0, is_write=True)],
+            1: [MemoryOperation(address=0, is_write=False, think_cycles=4000)],
+            2: [],
+            3: [],
+        }
+        system = build_trace_system(ProtocolName.SNOOPING, ops)
+        # Let P0's store complete, then write the block back before P1 reads.
+        system.run(max_cycles=1000)
+        cache0 = system.nodes[0].cache_controller
+        assert cache0.state_of(0).is_owner
+        cache0.issue_writeback(0)
+        system.simulator.run(until=2_000_000)
+        token0 = system.nodes[1].cache_controller.blocks.lookup(0).data_token
+        home = system.config.home_node(0)
+        assert token0 == system.nodes[home].memory_controller.directory.lookup(0).data_token
+
+    def test_writeback_requires_ownership(self):
+        system = build_trace_system(ProtocolName.SNOOPING, {0: [], 1: [], 2: [], 3: []})
+        with pytest.raises(ProtocolError):
+            system.nodes[0].cache_controller.issue_writeback(0)
+
+
+class TestIssueValidation:
+    def test_cannot_issue_two_requests_for_same_block(self):
+        system = build_trace_system(ProtocolName.SNOOPING, {0: [], 1: [], 2: [], 3: []})
+        cache = system.nodes[0].cache_controller
+        cache.issue_request(0, MessageType.GETM)
+        with pytest.raises(ProtocolError):
+            cache.issue_request(0, MessageType.GETS)
+
+    def test_cannot_issue_gets_for_valid_block(self):
+        ops = {0: [MemoryOperation(address=0, is_write=False)], 1: [], 2: [], 3: []}
+        system = run_trace(ops)
+        with pytest.raises(ProtocolError):
+            system.nodes[0].cache_controller.issue_request(0, MessageType.GETS)
+
+    def test_only_gets_getm_allowed(self):
+        system = build_trace_system(ProtocolName.SNOOPING, {0: [], 1: [], 2: [], 3: []})
+        with pytest.raises(ProtocolError):
+            system.nodes[0].cache_controller.issue_request(0, MessageType.PUTM)

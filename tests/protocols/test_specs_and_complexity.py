@@ -1,0 +1,110 @@
+"""Protocol specifications and the Table 1 complexity comparison."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols.complexity import (
+    PAPER_TABLE_1,
+    complexity_table,
+    format_table,
+    protocol_specs,
+    relative_shape_holds,
+)
+from repro.protocols.spec import ControllerSpec, Transition
+
+
+class TestControllerSpec:
+    def test_counts(self):
+        spec = ControllerSpec(
+            name="toy",
+            stable_states=("A", "B"),
+            transient_states=("T",),
+            events=("x", "y"),
+            transitions=[
+                Transition("A", "x", "B"),
+                Transition("B", "y", "A"),
+                Transition("T", "x", "A"),
+            ],
+        )
+        assert spec.state_count == 3
+        assert spec.event_count == 2
+        assert spec.transition_count == 3
+        assert spec.next_state("A", "x") == "B"
+        assert spec.defined("B", "y")
+        assert not spec.defined("A", "y")
+
+    def test_rejects_unknown_states_and_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            ControllerSpec(
+                name="bad",
+                stable_states=("A",),
+                transient_states=(),
+                events=("x",),
+                transitions=[Transition("A", "x", "Z")],
+            )
+        with pytest.raises(ConfigurationError):
+            ControllerSpec(
+                name="bad",
+                stable_states=("A",),
+                transient_states=(),
+                events=("x",),
+                transitions=[Transition("A", "x", "A"), Transition("A", "x", "A")],
+            )
+        with pytest.raises(ConfigurationError):
+            ControllerSpec(
+                name="bad",
+                stable_states=("A",),
+                transient_states=(),
+                events=("x",),
+                transitions=[Transition("A", "zzz", "A")],
+            )
+
+
+class TestProtocolSpecs:
+    def test_all_three_protocols_have_specs(self):
+        specs = protocol_specs()
+        assert set(specs) == {"BASH", "Snooping", "Directory"}
+
+    def test_every_spec_contains_mosi_stable_states(self):
+        for spec in protocol_specs().values():
+            assert {"I", "S", "O", "M"}.issubset(set(spec.cache.stable_states))
+
+    def test_cache_specs_are_nontrivial(self):
+        for spec in protocol_specs().values():
+            assert spec.cache.state_count >= 15
+            assert spec.cache.transition_count >= 40
+
+    def test_table_rows_have_all_columns(self):
+        for row in complexity_table().values():
+            assert set(row) == set(PAPER_TABLE_1["BASH"])
+
+
+class TestTable1Shape:
+    def test_bash_has_more_events_than_baselines(self):
+        table = complexity_table()
+        assert table["BASH"]["total_events"] > table["Snooping"]["total_events"]
+        assert table["BASH"]["total_events"] > table["Directory"]["total_events"]
+
+    def test_bash_has_substantially_more_transitions(self):
+        table = complexity_table()
+        assert table["BASH"]["total_transitions"] >= 1.3 * table["Snooping"]["total_transitions"]
+        assert table["BASH"]["total_transitions"] >= 1.3 * table["Directory"]["total_transitions"]
+
+    def test_state_counts_are_comparable(self):
+        table = complexity_table()
+        most_states = max(row["total_states"] for row in table.values())
+        least_states = min(row["total_states"] for row in table.values())
+        assert most_states <= 1.5 * least_states
+
+    def test_relative_shape_helper(self):
+        assert relative_shape_holds()
+
+    def test_paper_table_is_reproduced_verbatim(self):
+        assert PAPER_TABLE_1["BASH"]["total_transitions"] == 114
+        assert PAPER_TABLE_1["Snooping"]["total_transitions"] == 68
+        assert PAPER_TABLE_1["Directory"]["total_transitions"] == 75
+
+    def test_format_table_renders_both_tables(self):
+        text = format_table(include_paper=True)
+        assert "BASH" in text
+        assert "as published" in text

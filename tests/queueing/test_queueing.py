@@ -1,0 +1,96 @@
+"""Queueing model behind Figure 2."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.queueing.mva import (
+    delay_versus_utilization,
+    knee_utilization,
+    mva_single_station,
+)
+from repro.queueing.simulation import simulate_closed_network
+
+
+class TestMVA:
+    def test_single_customer_never_queues(self):
+        point = mva_single_station(customers=1, service_time=1.0, think_time=10.0)
+        assert point.queueing_delay == pytest.approx(0.0)
+        assert point.response_time == pytest.approx(1.0)
+
+    def test_zero_think_time_saturates_the_station(self):
+        point = mva_single_station(customers=16, service_time=1.0, think_time=0.0)
+        assert point.utilization == pytest.approx(1.0)
+        # With 16 customers and no think time, one is in service and 15 wait.
+        assert point.queue_length == pytest.approx(16.0)
+        assert point.queueing_delay == pytest.approx(15.0)
+
+    def test_utilization_decreases_with_think_time(self):
+        utilizations = [
+            mva_single_station(16, 1.0, z).utilization for z in (0.0, 8.0, 64.0)
+        ]
+        assert utilizations[0] > utilizations[1] > utilizations[2]
+
+    def test_throughput_bounded_by_service_rate(self):
+        for think in (0.0, 1.0, 10.0):
+            point = mva_single_station(16, 1.0, think)
+            assert point.throughput <= 1.0 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mva_single_station(0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            mva_single_station(1, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            mva_single_station(1, 1.0, -1.0)
+
+
+class TestFigure2Curve:
+    def test_curve_is_monotone_in_utilization(self):
+        points = delay_versus_utilization()
+        utils = [p.utilization for p in points]
+        assert utils == sorted(utils)
+
+    def test_delay_explodes_above_the_knee(self):
+        points = delay_versus_utilization()
+        low = [p for p in points if p.utilization < 0.5]
+        high = [p for p in points if p.utilization > 0.95]
+        assert low and high
+        assert max(p.queueing_delay for p in low) < min(
+            p.queueing_delay for p in high
+        )
+
+    def test_knee_sits_in_the_high_utilization_region(self):
+        points = delay_versus_utilization()
+        knee = knee_utilization(points)
+        # The knee the paper's 75% threshold is designed to stay below.
+        assert 0.6 < knee <= 1.0
+
+    def test_delay_small_below_75_percent(self):
+        points = delay_versus_utilization()
+        below = [p for p in points if p.utilization <= 0.75]
+        assert all(p.queueing_delay < 4.0 for p in below)
+
+
+class TestQueueingSimulation:
+    def test_simulation_agrees_with_mva(self):
+        think = 16.0
+        analytic = mva_single_station(16, 1.0, think)
+        simulated = simulate_closed_network(
+            customers=16, service_time=1.0, think_time=think, completions=30_000, seed=3
+        )
+        assert simulated.utilization == pytest.approx(analytic.utilization, rel=0.1)
+        assert simulated.mean_queueing_delay == pytest.approx(
+            analytic.queueing_delay, rel=0.3, abs=0.3
+        )
+
+    def test_higher_load_gives_longer_delays(self):
+        light = simulate_closed_network(think_time=32.0, completions=5000, seed=1)
+        heavy = simulate_closed_network(think_time=1.0, completions=5000, seed=1)
+        assert heavy.mean_queueing_delay > light.mean_queueing_delay
+        assert heavy.utilization > light.utilization
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_closed_network(customers=0)
+        with pytest.raises(ConfigurationError):
+            simulate_closed_network(completions=0)

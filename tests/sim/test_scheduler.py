@@ -1,0 +1,101 @@
+"""Discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.scheduler import Scheduler
+from repro.sim.simulator import Simulator
+
+
+class TestScheduler:
+    def test_events_fire_in_time_order(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule_at(30, lambda: fired.append("c"))
+        scheduler.schedule_at(10, lambda: fired.append("a"))
+        scheduler.schedule_at(20, lambda: fired.append("b"))
+        scheduler.run()
+        assert fired == ["a", "b", "c"]
+        assert scheduler.now == 30
+
+    def test_ties_break_by_insertion_order(self):
+        scheduler = Scheduler()
+        fired = []
+        for name in "abcd":
+            scheduler.schedule_at(5, lambda n=name: fired.append(n))
+        scheduler.run()
+        assert fired == ["a", "b", "c", "d"]
+
+    def test_schedule_after_is_relative(self):
+        scheduler = Scheduler()
+        times = []
+        scheduler.schedule_at(10, lambda: scheduler.schedule_after(5, lambda: times.append(scheduler.now)))
+        scheduler.run()
+        assert times == [15]
+
+    def test_cannot_schedule_in_the_past(self):
+        scheduler = Scheduler()
+        scheduler.schedule_at(10, lambda: None)
+        scheduler.run()
+        with pytest.raises(SimulationError):
+            scheduler.schedule_at(5, lambda: None)
+        with pytest.raises(SimulationError):
+            scheduler.schedule_after(-1, lambda: None)
+
+    def test_cancelled_events_are_skipped(self):
+        scheduler = Scheduler()
+        fired = []
+        event = scheduler.schedule_at(10, lambda: fired.append("x"))
+        event.cancel()
+        scheduler.run()
+        assert fired == []
+
+    def test_run_until_bound(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule_at(10, lambda: fired.append(10))
+        scheduler.schedule_at(100, lambda: fired.append(100))
+        scheduler.run(until=50)
+        assert fired == [10]
+        assert scheduler.now == 50
+        assert scheduler.pending == 1
+
+    def test_run_max_events(self):
+        scheduler = Scheduler()
+        for i in range(10):
+            scheduler.schedule_at(i, lambda: None)
+        assert scheduler.run(max_events=3) == 3
+        assert scheduler.fired == 3
+
+    def test_stop_when_predicate(self):
+        scheduler = Scheduler()
+        seen = []
+        for i in range(10):
+            scheduler.schedule_at(i, lambda i=i: seen.append(i))
+        scheduler.run(stop_when=lambda: len(seen) >= 4)
+        assert len(seen) == 4
+
+
+class TestSimulator:
+    def test_run_until_quiescent(self):
+        simulator = Simulator()
+        fired = []
+        simulator.scheduler.schedule_at(5, lambda: fired.append(1))
+        simulator.run_until_quiescent()
+        assert fired == [1]
+
+    def test_quiescence_guard_raises(self):
+        simulator = Simulator()
+
+        def rearm():
+            simulator.scheduler.schedule_after(1, rearm)
+
+        simulator.scheduler.schedule_at(0, rearm)
+        with pytest.raises(SimulationError):
+            simulator.run_until_quiescent(max_events=100)
+
+    def test_finish_blocks_further_runs(self):
+        simulator = Simulator()
+        simulator.finish()
+        with pytest.raises(SimulationError):
+            simulator.run()

@@ -1,0 +1,85 @@
+"""Uncontended protocol latencies against the numbers of Section 4.2.
+
+The paper's timing model gives 180 ns for a fetch from memory, 125 ns for a
+cache-to-cache transfer under Snooping (or a broadcast BASH request), and
+255 ns for a cache-to-cache transfer under Directory (or a unicast BASH
+request that is retried once).  Our interconnect adds the (small, at very high
+bandwidth) serialisation time of each message onto each link, so the measured
+latencies sit a few cycles above the closed-form numbers; the tests allow that
+slack and check the ratios the paper emphasises.
+"""
+
+import pytest
+
+from repro.common.config import ProtocolName
+from repro.workloads.base import MemoryOperation
+
+from ..conftest import build_trace_system
+
+VERY_HIGH_BANDWIDTH = 100_000.0
+
+
+def requester_latency(system):
+    return system.stats.means().get("cache0.miss_latency", 0.0)
+
+
+def memory_to_cache(protocol):
+    ops = {0: [MemoryOperation(address=256, is_write=True)], 1: [], 2: [], 3: []}
+    system = build_trace_system(protocol, ops, bandwidth=VERY_HIGH_BANDWIDTH)
+    system.run()
+    return requester_latency(system)
+
+
+def cache_to_cache(protocol, force_unicast=False):
+    ops = {
+        1: [MemoryOperation(address=256, is_write=True)],
+        0: [MemoryOperation(address=256, is_write=True, think_cycles=1500)],
+        2: [],
+        3: [],
+    }
+    system = build_trace_system(protocol, ops, bandwidth=VERY_HIGH_BANDWIDTH)
+    if force_unicast:
+        for node in system.nodes:
+            node.cache_controller.adaptive.should_broadcast = lambda: False
+    system.run()
+    return requester_latency(system)
+
+
+class TestMemoryFetchLatency:
+    @pytest.mark.parametrize("protocol", [ProtocolName.SNOOPING, ProtocolName.BASH])
+    def test_ordered_protocols_fetch_from_memory_in_about_180ns(self, protocol):
+        assert memory_to_cache(protocol) == pytest.approx(180, abs=10)
+
+    def test_directory_fetch_from_memory_in_about_180ns(self):
+        assert memory_to_cache(ProtocolName.DIRECTORY) == pytest.approx(180, abs=10)
+
+
+class TestCacheToCacheLatency:
+    def test_snooping_cache_to_cache_is_about_125ns(self):
+        assert cache_to_cache(ProtocolName.SNOOPING) == pytest.approx(125, abs=10)
+
+    def test_bash_broadcast_matches_snooping(self):
+        assert cache_to_cache(ProtocolName.BASH) == pytest.approx(
+            cache_to_cache(ProtocolName.SNOOPING), abs=5
+        )
+
+    def test_directory_cache_to_cache_is_about_255ns(self):
+        assert cache_to_cache(ProtocolName.DIRECTORY) == pytest.approx(255, abs=12)
+
+    def test_bash_unicast_matches_directory_indirection(self):
+        # An insufficient BASH unicast is retried by the memory controller and
+        # should cost about what a Directory indirection costs.
+        bash_unicast = cache_to_cache(ProtocolName.BASH, force_unicast=True)
+        assert bash_unicast == pytest.approx(255, abs=15)
+
+    def test_sharing_transfer_is_cheaper_than_memory_under_snooping(self):
+        # The paper: cache-to-cache ~70% of memory latency for Snooping.
+        ratio = cache_to_cache(ProtocolName.SNOOPING) / memory_to_cache(
+            ProtocolName.SNOOPING
+        )
+        assert 0.6 < ratio < 0.8
+
+    def test_indirection_is_dearer_than_memory_under_directory(self):
+        assert cache_to_cache(ProtocolName.DIRECTORY) > memory_to_cache(
+            ProtocolName.DIRECTORY
+        )

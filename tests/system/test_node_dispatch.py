@@ -1,0 +1,105 @@
+"""Node message dispatch and the simulation Component base class."""
+
+import pytest
+
+from repro.common.config import ProtocolName
+from repro.common.stats import StatsRegistry
+from repro.errors import ReproError, SimulationError
+from repro.interconnect.message import DestinationUnit, Message, MessageType
+from repro.sim.component import Component
+from repro.sim.scheduler import Scheduler
+
+from ..conftest import build_trace_system
+
+
+class TestComponent:
+    def test_schedule_and_stats_helpers(self):
+        scheduler = Scheduler()
+        stats = StatsRegistry()
+        component = Component("widget", scheduler, stats)
+        fired = []
+        component.schedule(10, lambda: fired.append(component.now), "tick")
+        scheduler.run()
+        assert fired == [10]
+        component.count("things", 3)
+        component.record("value", 2.5)
+        assert stats.counters()["widget.things"] == 3
+        assert stats.means()["widget.value"] == 2.5
+
+    def test_stat_name_prefixes_component(self):
+        component = Component("cache7", Scheduler(), StatsRegistry())
+        assert component.stat_name("misses") == "cache7.misses"
+
+
+class TestNodeDispatch:
+    def _system(self, protocol=ProtocolName.SNOOPING):
+        return build_trace_system(protocol, {n: [] for n in range(4)})
+
+    def test_unordered_messages_route_by_destination_unit(self):
+        system = self._system()
+        node = system.nodes[1]
+        seen = {"cache": 0, "memory": 0}
+        node.cache_controller.handle_unordered = lambda msg: seen.__setitem__(
+            "cache", seen["cache"] + 1
+        )
+        node.memory_controller.handle_unordered = lambda msg: seen.__setitem__(
+            "memory", seen["memory"] + 1
+        )
+        cache_msg = Message(
+            msg_type=MessageType.DATA, src=0, dest=1, address=0, size_bytes=72,
+            requester=1, dest_unit=DestinationUnit.CACHE,
+        )
+        memory_msg = Message(
+            msg_type=MessageType.WB_DATA, src=0, dest=1, address=64, size_bytes=72,
+            requester=0, dest_unit=DestinationUnit.MEMORY,
+        )
+        node.deliver_unordered(cache_msg)
+        node.deliver_unordered(memory_msg)
+        assert seen == {"cache": 1, "memory": 1}
+
+    def test_ordered_messages_reach_both_controllers(self):
+        system = self._system()
+        node = system.nodes[2]
+        calls = []
+        node.cache_controller.handle_ordered = lambda msg: calls.append("cache")
+        node.memory_controller.handle_ordered = lambda msg: calls.append("memory")
+        request = Message(
+            msg_type=MessageType.GETS, src=0, address=128, size_bytes=8, requester=0
+        )
+        node.deliver_ordered(request)
+        assert calls == ["cache", "memory"]
+
+    def test_memory_controller_ignores_foreign_addresses(self):
+        system = self._system()
+        # Address 0 is homed at node 0; node 1's memory controller must not
+        # create directory state for it when it snoops the request.
+        request = Message(
+            msg_type=MessageType.GETS, src=2, address=0, size_bytes=8, requester=2,
+            recipients=frozenset(range(4)),
+        )
+        system.nodes[1].memory_controller.handle_ordered(request)
+        assert 0 not in system.nodes[1].memory_controller.directory
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_share_a_base(self):
+        from repro import errors
+
+        for name in (
+            "ConfigurationError",
+            "SimulationError",
+            "ProtocolError",
+            "NetworkError",
+            "WorkloadError",
+            "VerificationError",
+        ):
+            assert issubclass(getattr(errors, name), ReproError)
+
+    def test_simulation_error_is_catchable_as_repro_error(self):
+        scheduler = Scheduler()
+        scheduler.schedule_at(5, lambda: None)
+        scheduler.run()
+        with pytest.raises(ReproError):
+            scheduler.schedule_at(1, lambda: None)
+        with pytest.raises(SimulationError):
+            scheduler.schedule_at(1, lambda: None)

@@ -1,0 +1,133 @@
+"""Sequencer, node dispatch, and the multiprocessor facade."""
+
+import pytest
+
+from repro.common.config import ProtocolName
+from repro.coherence.state import MOSIState
+from repro.system.multiprocessor import MultiprocessorSystem, simulate
+from repro.workloads.base import MemoryOperation
+from repro.workloads.microbenchmark import LockingMicrobenchmark
+from repro.workloads.trace import TraceWorkload
+
+from ..conftest import ALL_PROTOCOLS, run_microbenchmark, small_config
+
+
+class TestSequencer:
+    def test_hits_do_not_generate_traffic(self, protocol):
+        ops = {
+            0: [
+                MemoryOperation(address=0, is_write=True),
+                MemoryOperation(address=0, is_write=True, think_cycles=50),
+                MemoryOperation(address=0, is_write=False, think_cycles=50),
+            ],
+            1: [],
+            2: [],
+            3: [],
+        }
+        config = small_config(protocol)
+        system = MultiprocessorSystem(config, TraceWorkload(ops))
+        system.run()
+        sequencer = system.nodes[0].sequencer
+        assert sequencer.misses == 1
+        assert sequencer.hits == 2
+        assert sequencer.operations_completed == 3
+
+    def test_read_after_remote_write_is_a_miss(self, protocol):
+        ops = {
+            0: [MemoryOperation(address=0, is_write=True)],
+            1: [MemoryOperation(address=0, is_write=False, think_cycles=2000)],
+            2: [],
+            3: [],
+        }
+        config = small_config(protocol)
+        system = MultiprocessorSystem(config, TraceWorkload(ops))
+        system.run()
+        assert system.nodes[1].sequencer.misses == 1
+
+    def test_eviction_writeback_when_cache_is_full(self, protocol):
+        # A two-block cache forced to hold three modified blocks must evict
+        # (and write back) the least recently used one.
+        ops = {
+            0: [
+                MemoryOperation(address=0, is_write=True),
+                MemoryOperation(address=64, is_write=True, think_cycles=50),
+                MemoryOperation(address=128, is_write=True, think_cycles=50),
+            ],
+            1: [],
+            2: [],
+            3: [],
+        }
+        config = small_config(protocol, cache_capacity_blocks=2)
+        system = MultiprocessorSystem(config, TraceWorkload(ops))
+        system.run()
+        cache = system.nodes[0].cache_controller
+        assert cache.blocks.occupancy() <= 2
+        counters = system.stats.counters()
+        assert counters.get("sequencer0.evictions.writeback", 0) >= 1
+
+    def test_instruction_accounting(self, protocol):
+        ops = {
+            0: [MemoryOperation(address=0, is_write=True, instructions=400)],
+            1: [],
+            2: [],
+            3: [],
+        }
+        config = small_config(protocol)
+        system = MultiprocessorSystem(config, TraceWorkload(ops))
+        result = system.run()
+        assert result.instructions == 400
+
+
+class TestRunResult:
+    def test_microbenchmark_run_produces_sane_metrics(self, protocol):
+        result = run_microbenchmark(protocol, acquires=20, num_locks=64)
+        assert result.operations == 4 * 20
+        assert result.cycles > 0
+        assert result.operations_per_cycle > 0
+        assert result.performance == pytest.approx(result.operations_per_cycle)
+        assert 0.0 <= result.mean_link_utilization <= 1.0
+        assert result.mean_miss_latency > 100
+
+    def test_performance_per_processor(self, protocol):
+        result = run_microbenchmark(protocol, acquires=10)
+        assert result.performance_per_processor == pytest.approx(
+            result.performance / 4
+        )
+
+    def test_broadcast_fraction_by_protocol(self):
+        snooping = run_microbenchmark(ProtocolName.SNOOPING, acquires=15)
+        directory = run_microbenchmark(ProtocolName.DIRECTORY, acquires=15)
+        assert snooping.broadcast_fraction == pytest.approx(1.0)
+        assert directory.broadcast_fraction == pytest.approx(0.0)
+
+    def test_simulate_helper(self):
+        config = small_config(ProtocolName.BASH)
+        result = simulate(config, LockingMicrobenchmark(num_locks=32, acquires_per_processor=5))
+        assert result.protocol is ProtocolName.BASH
+        assert result.operations == 20
+
+
+class TestCrossProtocolAgreement:
+    def test_all_protocols_reach_the_same_final_ownership(self):
+        ops = {
+            0: [MemoryOperation(address=0, is_write=True)],
+            1: [MemoryOperation(address=0, is_write=True, think_cycles=1200)],
+            2: [MemoryOperation(address=0, is_write=False, think_cycles=2400)],
+            3: [],
+        }
+        finals = {}
+        for protocol in ALL_PROTOCOLS:
+            config = small_config(protocol)
+            system = MultiprocessorSystem(config, TraceWorkload(
+                {k: list(v) for k, v in ops.items()}
+            ))
+            system.run()
+            finals[protocol] = (
+                system.nodes[0].cache_controller.state_of(0),
+                system.nodes[1].cache_controller.state_of(0),
+                system.nodes[2].cache_controller.state_of(0),
+            )
+        assert finals[ProtocolName.SNOOPING] == finals[ProtocolName.DIRECTORY]
+        assert finals[ProtocolName.SNOOPING] == finals[ProtocolName.BASH]
+        assert finals[ProtocolName.SNOOPING][1] is MOSIState.OWNED
+        assert finals[ProtocolName.SNOOPING][2] is MOSIState.SHARED

@@ -12,7 +12,20 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
+
+from repro.experiments.parallel import WORKERS_ENV, available_workers
 from repro.experiments.runner import ExperimentScale
+
+#: Worker-pool size for the sweep-based benchmarks: honours
+#: $REPRO_SWEEP_WORKERS, defaults to the machine's CPU count, and collapses
+#: to serial (None) on single-core boxes where a pool only adds overhead.
+BENCH_WORKERS = available_workers() if available_workers() > 1 else None
+
+#: Optional on-disk sweep cache shared by the benchmark drivers; set
+#: $REPRO_SWEEP_CACHE to a directory to let repeated figure runs skip
+#: completed points.
+BENCH_CACHE_DIR = os.environ.get("REPRO_SWEEP_CACHE") or None
 
 #: Reduced scale used by the automated benchmark harness.
 BENCH_SCALE = ExperimentScale(

@@ -1,0 +1,150 @@
+"""Event-core throughput and sweep wall-time tracker.
+
+Measures the two quantities the performance work of this repo is judged by:
+
+* **events/sec** through the discrete-event core on the paper's 16-processor
+  locking microbenchmark (one number per protocol, plus the aggregate), and
+* **end-to-end wall time** of a reduced Figure 1 sweep, serially and (when the
+  parallel executor is available) across process-pool workers.
+
+Run it directly to refresh ``BENCH_core.json`` in the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_event_throughput.py
+
+The JSON keeps a ``baseline`` section (captured on the pre-refactor seed core)
+alongside ``current`` so the speedup trajectory is tracked PR over PR.  Pass
+``--set-baseline`` to overwrite the baseline with a fresh measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.common.config import ProtocolName
+from repro.experiments.runner import QUICK, microbenchmark_config
+from repro.system.multiprocessor import MultiprocessorSystem
+from repro.workloads.microbenchmark import LockingMicrobenchmark
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_core.json"
+
+#: Reduced Figure 1 sweep used for the wall-time measurement (3 protocols x
+#: 3 bandwidth points, single seed) so the benchmark finishes in seconds.
+SWEEP_BANDWIDTHS = (400.0, 1600.0, 6400.0)
+
+PROTOCOL_LIST = (ProtocolName.SNOOPING, ProtocolName.DIRECTORY, ProtocolName.BASH)
+
+
+def _build_system(protocol: ProtocolName, num_processors: int) -> MultiprocessorSystem:
+    config = microbenchmark_config(
+        QUICK, protocol, bandwidth=1600.0, num_processors=num_processors, seed=1
+    )
+    workload = LockingMicrobenchmark(
+        num_locks=QUICK.num_locks,
+        acquires_per_processor=QUICK.acquires_per_processor,
+        think_cycles=0,
+        think_jitter=16,
+    )
+    return MultiprocessorSystem(config, workload)
+
+
+def measure_event_throughput(num_processors: int = 16, repeats: int = 3) -> Dict:
+    """Events/sec on the locking microbenchmark, best of ``repeats`` runs."""
+    per_protocol: Dict[str, Dict[str, float]] = {}
+    total_fired = 0
+    total_wall = 0.0
+    for protocol in PROTOCOL_LIST:
+        best: Optional[Dict[str, float]] = None
+        for _ in range(repeats):
+            system = _build_system(protocol, num_processors)
+            start = time.perf_counter()
+            system.run()
+            wall = time.perf_counter() - start
+            fired = system.simulator.scheduler.fired
+            rate = fired / wall if wall > 0 else 0.0
+            if best is None or rate > best["events_per_sec"]:
+                best = {
+                    "fired_events": fired,
+                    "wall_seconds": round(wall, 4),
+                    "events_per_sec": round(rate, 1),
+                }
+        assert best is not None
+        per_protocol[str(protocol)] = best
+        total_fired += int(best["fired_events"])
+        total_wall += float(best["wall_seconds"])
+    return {
+        "num_processors": num_processors,
+        "per_protocol": per_protocol,
+        "aggregate_events_per_sec": round(total_fired / total_wall, 1)
+        if total_wall
+        else 0.0,
+    }
+
+
+def measure_sweep_wall() -> Dict:
+    """Wall time of the reduced Figure 1 sweep, serial and parallel."""
+    from repro.experiments.figures import figure1_microbenchmark_performance
+
+    timings: Dict[str, float] = {}
+    start = time.perf_counter()
+    figure1_microbenchmark_performance(QUICK, bandwidths=SWEEP_BANDWIDTHS)
+    timings["serial_seconds"] = round(time.perf_counter() - start, 3)
+    try:
+        from repro.experiments.parallel import available_workers
+    except ImportError:
+        return timings
+    workers = min(4, available_workers())
+    if workers > 1:
+        start = time.perf_counter()
+        figure1_microbenchmark_performance(
+            QUICK, bandwidths=SWEEP_BANDWIDTHS, workers=workers
+        )
+        timings[f"parallel_{workers}w_seconds"] = round(time.perf_counter() - start, 3)
+    return timings
+
+
+def run_benchmark() -> Dict:
+    return {
+        "python": platform.python_version(),
+        "event_throughput": measure_event_throughput(),
+        "sweep_wall_time": measure_sweep_wall(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--set-baseline",
+        action="store_true",
+        help="record this measurement as the baseline instead of 'current'",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=RESULT_PATH, help="result JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    record: Dict = {}
+    if args.output.exists():
+        record = json.loads(args.output.read_text())
+    measurement = run_benchmark()
+    if args.set_baseline or "baseline" not in record:
+        record["baseline"] = measurement
+    if not args.set_baseline:
+        record["current"] = measurement
+        base = record["baseline"]["event_throughput"]["aggregate_events_per_sec"]
+        cur = measurement["event_throughput"]["aggregate_events_per_sec"]
+        if base:
+            record["speedup_vs_baseline"] = round(cur / base, 2)
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

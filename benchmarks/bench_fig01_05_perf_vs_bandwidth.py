@@ -15,11 +15,13 @@ from repro.experiments import (
     format_normalized,
 )
 
-from bench_common import BENCH_SCALE
+from bench_common import BENCH_CACHE_DIR, BENCH_SCALE, BENCH_WORKERS
 
 
 def _run_sweep():
-    curves = figure1_microbenchmark_performance(BENCH_SCALE)
+    curves = figure1_microbenchmark_performance(
+        BENCH_SCALE, workers=BENCH_WORKERS, cache_dir=BENCH_CACHE_DIR
+    )
     normalised = figure5_normalized_performance(curves)
     return curves, normalised
 

@@ -7,12 +7,14 @@ from repro.experiments import (
     figure7_threshold_sensitivity,
 )
 
-from bench_common import BENCH_SCALE
+from bench_common import BENCH_SCALE, BENCH_WORKERS
 
 
 def test_figure6_link_utilization(benchmark):
     curves = benchmark.pedantic(
-        lambda: figure1_microbenchmark_performance(BENCH_SCALE, bandwidths=(200, 3200)),
+        lambda: figure1_microbenchmark_performance(
+            BENCH_SCALE, bandwidths=(200, 3200), workers=BENCH_WORKERS
+        ),
         rounds=1,
         iterations=1,
     )
@@ -34,7 +36,10 @@ def test_figure6_link_utilization(benchmark):
 def test_figure7_threshold_sensitivity(benchmark):
     sweeps = benchmark.pedantic(
         lambda: figure7_threshold_sensitivity(
-            BENCH_SCALE, thresholds=(0.55, 0.75, 0.95), bandwidths=(400, 3200)
+            BENCH_SCALE,
+            thresholds=(0.55, 0.75, 0.95),
+            bandwidths=(400, 3200),
+            workers=BENCH_WORKERS,
         ),
         rounds=1,
         iterations=1,

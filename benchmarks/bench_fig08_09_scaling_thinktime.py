@@ -3,12 +3,14 @@
 from repro.common.config import ProtocolName
 from repro.experiments import figure8_system_size, figure9_think_time, format_curves
 
-from bench_common import BENCH_SCALE
+from bench_common import BENCH_SCALE, BENCH_WORKERS
 
 
 def test_figure8_system_size(benchmark):
     curves = benchmark.pedantic(
-        lambda: figure8_system_size(BENCH_SCALE, processor_counts=(4, 16)),
+        lambda: figure8_system_size(
+            BENCH_SCALE, processor_counts=(4, 16), workers=BENCH_WORKERS
+        ),
         rounds=1,
         iterations=1,
     )
@@ -42,7 +44,9 @@ def test_figure8_system_size(benchmark):
 
 def test_figure9_think_time(benchmark):
     curves = benchmark.pedantic(
-        lambda: figure9_think_time(BENCH_SCALE, think_times=(0, 800), bandwidth=800.0),
+        lambda: figure9_think_time(
+            BENCH_SCALE, think_times=(0, 800), bandwidth=800.0, workers=BENCH_WORKERS
+        ),
         rounds=1,
         iterations=1,
     )

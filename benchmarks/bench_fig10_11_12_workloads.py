@@ -9,7 +9,7 @@ from repro.experiments import (
     format_curves,
 )
 
-from bench_common import BENCH_SCALE
+from bench_common import BENCH_SCALE, BENCH_WORKERS
 
 WORKLOADS = ("oltp", "specjbb")  # representative subset for the CI-scale harness
 
@@ -17,7 +17,10 @@ WORKLOADS = ("oltp", "specjbb")  # representative subset for the CI-scale harnes
 def test_figure10_workloads(benchmark):
     sweeps = benchmark.pedantic(
         lambda: figure10_workloads(
-            BENCH_SCALE, workloads=WORKLOADS, include_microbenchmark=False
+            BENCH_SCALE,
+            workloads=WORKLOADS,
+            include_microbenchmark=False,
+            workers=BENCH_WORKERS,
         ),
         rounds=1,
         iterations=1,

@@ -4,6 +4,33 @@
 Builds a 16-processor system with 1600 MB/s endpoint links, runs the paper's
 locking microbenchmark under Snooping, Directory and BASH, and prints the
 throughput, miss latency, link utilization and broadcast fraction of each.
+
+Running the figures fast
+------------------------
+
+Every figure driver in :mod:`repro.experiments.figures` is a sweep of
+independent simulations, and every sweep accepts ``workers`` and
+``cache_dir``::
+
+    from repro.experiments.figures import figure1_microbenchmark_performance
+    from repro.experiments.runner import QUICK, PAPER
+
+    # Fan the 21 sweep points across 8 worker processes.
+    curves = figure1_microbenchmark_performance(QUICK, workers=8)
+
+    # Memoise completed points on disk: re-running a figure (or resuming an
+    # interrupted PAPER-scale reproduction) skips everything already done.
+    curves = figure1_microbenchmark_performance(
+        PAPER, workers=8, cache_dir="~/.cache/repro-sweeps"
+    )
+
+``workers=0`` means "auto" ($REPRO_SWEEP_WORKERS, else the CPU count); the
+default (``None``) stays serial.  Parallel and serial runs are guaranteed to
+produce identical results point for point, because every point derives its
+seeds from its own configuration (``scale.seeds``), never from worker
+scheduling.  The cache key hashes the full point configuration (scale,
+protocol, bandwidth, workload, adaptive parameters), so a changed experiment
+never reuses stale results.
 """
 
 from __future__ import annotations

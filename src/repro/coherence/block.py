@@ -8,7 +8,7 @@ from typing import Set
 from .state import MOSIState
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheBlock:
     """One cache line as seen by its cache controller.
 

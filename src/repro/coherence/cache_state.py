@@ -66,6 +66,11 @@ class CacheBlockStore:
 
     def is_full(self) -> bool:
         """True when installing another block requires an eviction."""
+        # Valid blocks are a subset of the records, so a short record table can
+        # never be full — this keeps the per-miss check O(1) until the cache
+        # actually fills, instead of scanning every record.
+        if len(self._blocks) < self.capacity_blocks:
+            return False
         return self.occupancy() >= self.capacity_blocks
 
     def eviction_candidate(self) -> Optional[CacheBlock]:

@@ -15,7 +15,7 @@ from typing import Dict, FrozenSet, Set
 from .state import MEMORY_OWNER
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectoryEntry:
     """Owner and sharer bookkeeping for one block at its home node."""
 

@@ -22,6 +22,10 @@ class MOSIState(Enum):
     SHARED = "S"
     INVALID = "I"
 
+    # Members are singletons, so identity hashing is equivalent to the default
+    # Enum hash but runs in C — these values key hot per-event dict lookups.
+    __hash__ = object.__hash__
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 

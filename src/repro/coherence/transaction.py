@@ -14,7 +14,7 @@ CompletionCallback = Callable[["Transaction"], None]
 _transaction_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Transaction:
     """One in-flight coherence transaction at a cache controller.
 

@@ -22,6 +22,8 @@ from ..errors import ConfigurationError
 class SignedSaturatingCounter:
     """A signed counter that saturates symmetrically at ``+/- limit``."""
 
+    __slots__ = ("_limit", "_value")
+
     def __init__(self, limit: int, initial: int = 0) -> None:
         if limit <= 0:
             raise ConfigurationError(f"limit must be positive, got {limit}")
@@ -61,6 +63,8 @@ class SignedSaturatingCounter:
 
 class UnsignedSaturatingCounter:
     """An unsigned counter that saturates at ``0`` and ``2**bits - 1``."""
+
+    __slots__ = ("_bits", "_maximum", "_value")
 
     def __init__(self, bits: int, initial: int = 0) -> None:
         if bits <= 0:

@@ -15,6 +15,8 @@ from typing import Dict, Iterable, List, Mapping
 class Counter:
     """A monotonically increasing event counter."""
 
+    __slots__ = ("name", "_count")
+
     def __init__(self, name: str) -> None:
         self.name = name
         self._count = 0
@@ -38,6 +40,8 @@ class Counter:
 
 class RunningMean:
     """Streaming mean / variance / extrema accumulator (Welford's algorithm)."""
+
+    __slots__ = ("name", "_count", "_mean", "_m2", "_minimum", "_maximum", "_total")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -92,8 +96,10 @@ class RunningMean:
         delta = value - self._mean
         self._mean += delta / self._count
         self._m2 += delta * (value - self._mean)
-        self._minimum = min(self._minimum, value)
-        self._maximum = max(self._maximum, value)
+        if value < self._minimum:
+            self._minimum = value
+        if value > self._maximum:
+            self._maximum = value
 
     def record_many(self, values: Iterable[float]) -> None:
         """Add several samples."""
@@ -110,6 +116,8 @@ class RunningMean:
 
 class Histogram:
     """A fixed-width bucket histogram with overflow bucket."""
+
+    __slots__ = ("name", "bucket_width", "bucket_count", "_buckets", "_samples")
 
     def __init__(self, name: str, bucket_width: float, bucket_count: int) -> None:
         if bucket_width <= 0:

@@ -36,6 +36,7 @@ from ..system.multiprocessor import MultiprocessorSystem
 from ..workloads.base import MemoryOperation
 from ..workloads.presets import WORKLOAD_ORDER
 from ..workloads.trace import TraceWorkload
+from .parallel import PointSpec, run_sweep, sweep_curves
 from .runner import (
     PROTOCOLS,
     QUICK,
@@ -58,13 +59,21 @@ def figure1_microbenchmark_performance(
     scale: ExperimentScale = QUICK,
     bandwidths: Optional[Sequence[float]] = None,
     num_processors: Optional[int] = None,
+    workers: Optional[int] = None,
+    cache_dir=None,
 ) -> Curves:
-    """Performance vs available bandwidth for the locking microbenchmark."""
+    """Performance vs available bandwidth for the locking microbenchmark.
+
+    ``workers``/``cache_dir`` fan the sweep across processes and memoise
+    completed points on disk (see :mod:`repro.experiments.parallel`).
+    """
     return protocol_sweep(
         scale,
         bandwidths or scale.bandwidth_points,
         microbenchmark_factory(scale),
         num_processors=num_processors,
+        workers=workers,
+        cache_dir=cache_dir,
     )
 
 
@@ -190,22 +199,27 @@ def figure7_threshold_sensitivity(
     scale: ExperimentScale = QUICK,
     thresholds: Sequence[float] = (0.55, 0.75, 0.95),
     bandwidths: Optional[Sequence[float]] = None,
+    workers: Optional[int] = None,
+    cache_dir=None,
 ) -> Dict[float, List[SweepPoint]]:
     """BASH performance vs bandwidth for several utilization thresholds."""
-    sweeps: Dict[float, List[SweepPoint]] = {}
-    for threshold in thresholds:
-        points = []
-        for bandwidth in bandwidths or scale.bandwidth_points:
-            points.append(
-                run_point(
-                    scale,
-                    ProtocolName.BASH,
-                    bandwidth,
-                    microbenchmark_factory(scale),
-                    threshold=threshold,
-                )
-            )
-        sweeps[threshold] = points
+    points = tuple(bandwidths or scale.bandwidth_points)
+    workload = microbenchmark_factory(scale)
+    specs = [
+        PointSpec(
+            scale=scale,
+            protocol=ProtocolName.BASH,
+            bandwidth=bandwidth,
+            workload=workload,
+            threshold=threshold,
+        )
+        for threshold in thresholds
+        for bandwidth in points
+    ]
+    results = run_sweep(specs, workers=workers, cache_dir=cache_dir)
+    sweeps: Dict[float, List[SweepPoint]] = {t: [] for t in thresholds}
+    for spec, point in zip(specs, results):
+        sweeps[spec.threshold].append(point)
     return sweeps
 
 
@@ -216,21 +230,26 @@ def figure8_system_size(
     scale: ExperimentScale = QUICK,
     processor_counts: Optional[Sequence[int]] = None,
     bandwidth_per_processor: float = 1600.0,
+    workers: Optional[int] = None,
+    cache_dir=None,
 ) -> Curves:
     """Performance per processor vs system size at fixed per-processor bandwidth."""
-    curves: Curves = {p: [] for p in PROTOCOLS}
-    for protocol in PROTOCOLS:
-        for count in processor_counts or scale.processor_counts:
-            point = run_point(
-                scale,
-                protocol,
-                bandwidth_per_processor,
-                microbenchmark_factory(scale),
-                x_value=count,
-                num_processors=count,
-            )
-            curves[protocol].append(point)
-    return curves
+    counts = tuple(processor_counts or scale.processor_counts)
+    workload = microbenchmark_factory(scale)
+    specs = [
+        PointSpec(
+            scale=scale,
+            protocol=protocol,
+            bandwidth=bandwidth_per_processor,
+            workload=workload,
+            x_value=count,
+            num_processors=count,
+        )
+        for protocol in PROTOCOLS
+        for count in counts
+    ]
+    results = run_sweep(specs, workers=workers, cache_dir=cache_dir)
+    return sweep_curves(specs, results, PROTOCOLS)
 
 
 # ----------------------------------------------------------------------- Fig 9
@@ -241,21 +260,25 @@ def figure9_think_time(
     think_times: Optional[Sequence[int]] = None,
     bandwidth: float = 1600.0,
     num_processors: Optional[int] = None,
+    workers: Optional[int] = None,
+    cache_dir=None,
 ) -> Curves:
     """Average miss latency vs think time (workload intensity, Figure 9)."""
-    curves: Curves = {p: [] for p in PROTOCOLS}
-    for protocol in PROTOCOLS:
-        for think in think_times if think_times is not None else scale.think_times:
-            point = run_point(
-                scale,
-                protocol,
-                bandwidth,
-                microbenchmark_factory(scale, think_cycles=think),
-                x_value=think,
-                num_processors=num_processors,
-            )
-            curves[protocol].append(point)
-    return curves
+    thinks = tuple(think_times if think_times is not None else scale.think_times)
+    specs = [
+        PointSpec(
+            scale=scale,
+            protocol=protocol,
+            bandwidth=bandwidth,
+            workload=microbenchmark_factory(scale, think_cycles=think),
+            x_value=think,
+            num_processors=num_processors,
+        )
+        for protocol in PROTOCOLS
+        for think in thinks
+    ]
+    results = run_sweep(specs, workers=workers, cache_dir=cache_dir)
+    return sweep_curves(specs, results, PROTOCOLS)
 
 
 # ----------------------------------------------------------------- Fig 10 / 11
@@ -267,6 +290,8 @@ def figure10_workloads(
     bandwidths: Optional[Sequence[float]] = None,
     broadcast_cost_factor: float = 1.0,
     include_microbenchmark: bool = True,
+    workers: Optional[int] = None,
+    cache_dir=None,
 ) -> Dict[str, Curves]:
     """Performance vs bandwidth for the commercial workloads (16 processors)."""
     sweeps: Dict[str, Curves] = {}
@@ -278,6 +303,8 @@ def figure10_workloads(
             microbenchmark_factory(scale),
             num_processors=scale.workload_processors,
             broadcast_cost_factor=broadcast_cost_factor,
+            workers=workers,
+            cache_dir=cache_dir,
         )
     for name in workloads:
         sweeps[name] = protocol_sweep(
@@ -287,6 +314,8 @@ def figure10_workloads(
             num_processors=scale.workload_processors,
             broadcast_cost_factor=broadcast_cost_factor,
             cache_capacity_blocks=4096,
+            workers=workers,
+            cache_dir=cache_dir,
         )
     return sweeps
 
@@ -296,6 +325,8 @@ def figure11_workloads_4x_broadcast(
     workloads: Sequence[str] = WORKLOAD_ORDER,
     bandwidths: Optional[Sequence[float]] = None,
     include_microbenchmark: bool = True,
+    workers: Optional[int] = None,
+    cache_dir=None,
 ) -> Dict[str, Curves]:
     """Figure 10 repeated with a 4x broadcast bandwidth cost (larger-system proxy)."""
     return figure10_workloads(
@@ -304,6 +335,8 @@ def figure11_workloads_4x_broadcast(
         bandwidths=bandwidths,
         broadcast_cost_factor=4.0,
         include_microbenchmark=include_microbenchmark,
+        workers=workers,
+        cache_dir=cache_dir,
     )
 
 

@@ -1,0 +1,251 @@
+"""Parallel sweep executor with an on-disk result cache.
+
+Every figure in the paper's evaluation is an embarrassingly parallel sweep of
+independent ``simulate()`` runs — (protocol, x-value, seed) points that share
+nothing.  This module fans those points across a process pool:
+
+* :class:`PointSpec` is a picklable description of one sweep point (the same
+  arguments :func:`repro.experiments.runner.run_point` takes),
+* :func:`run_sweep` executes a list of specs — serially, or across
+  ``workers`` processes — returning :class:`SweepPoint` results in input
+  order, optionally memoised in an on-disk JSON cache keyed by a hash of the
+  full configuration,
+* :func:`sweep_curves` groups flat results back into the per-protocol curve
+  dictionaries the figure drivers consume.
+
+Determinism: each point is seeded from its own spec (``scale.seeds``), never
+from worker identity or scheduling order, so ``run_sweep(workers=1)`` and
+``run_sweep(workers=N)`` produce identical results point for point.
+
+The executor falls back to serial execution when the requested worker count
+is ``<= 1``, when a spec is not picklable (e.g. an ad-hoc workload closure),
+or when the platform refuses to start a process pool (restricted sandboxes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..common.config import ProtocolName
+from ..system.multiprocessor import RunResult
+from .runner import ExperimentScale, SweepPoint, run_point
+
+#: Bump when the simulation core changes in a way that invalidates cached
+#: sweep results.
+CACHE_VERSION = 1
+
+#: Environment variable consulted when ``workers`` is not given explicitly.
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+def available_workers() -> int:
+    """Worker count to use by default: $REPRO_SWEEP_WORKERS or the CPU count."""
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One sweep point: everything :func:`run_point` needs, picklable."""
+
+    scale: ExperimentScale
+    protocol: ProtocolName
+    bandwidth: float
+    workload: object  # a workload spec callable (seed -> Workload)
+    x_value: Optional[float] = None
+    num_processors: Optional[int] = None
+    threshold: float = 0.75
+    broadcast_cost_factor: float = 1.0
+    cache_capacity_blocks: Optional[int] = None
+
+    def run(self) -> SweepPoint:
+        """Execute this point (in whatever process we happen to be in)."""
+        return run_point(
+            self.scale,
+            self.protocol,
+            self.bandwidth,
+            self.workload,
+            x_value=self.x_value,
+            num_processors=self.num_processors,
+            threshold=self.threshold,
+            broadcast_cost_factor=self.broadcast_cost_factor,
+            cache_capacity_blocks=self.cache_capacity_blocks,
+        )
+
+    # ------------------------------------------------------------- caching
+
+    def is_portable(self) -> bool:
+        """True when the spec can be shipped to a worker and cached on disk."""
+        return hasattr(self.workload, "cache_token")
+
+    def cache_key(self) -> str:
+        """Stable hash of the full point configuration."""
+        scale = dataclasses.asdict(self.scale)
+        scale["seeds"] = list(self.scale.seeds)
+        payload = {
+            "version": CACHE_VERSION,
+            "scale": scale,
+            "protocol": str(self.protocol),
+            "bandwidth": self.bandwidth,
+            "workload": self.workload.cache_token(),
+            "x_value": self.x_value,
+            "num_processors": self.num_processors,
+            "threshold": self.threshold,
+            "broadcast_cost_factor": self.broadcast_cost_factor,
+            "cache_capacity_blocks": self.cache_capacity_blocks,
+        }
+        blob = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ------------------------------------------------------------- serialisation
+
+
+def _point_to_json(point: SweepPoint) -> Dict:
+    data = dataclasses.asdict(point)
+    data["protocol"] = str(point.protocol)
+    for result in data["results"]:
+        result["protocol"] = str(result["protocol"])
+    return data
+
+
+def _point_from_json(data: Dict) -> SweepPoint:
+    results = [
+        RunResult(**{**r, "protocol": ProtocolName(r["protocol"])})
+        for r in data["results"]
+    ]
+    return SweepPoint(
+        protocol=ProtocolName(data["protocol"]),
+        x=data["x"],
+        performance=data["performance"],
+        performance_per_processor=data["performance_per_processor"],
+        mean_miss_latency=data["mean_miss_latency"],
+        link_utilization=data["link_utilization"],
+        broadcast_fraction=data["broadcast_fraction"],
+        retries=data["retries"],
+        results=results,
+    )
+
+
+class SweepCache:
+    """On-disk JSON store of completed sweep points, keyed by config hash."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory).expanduser()
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> Optional[SweepPoint]:
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            return _point_from_json(json.loads(path.read_text()))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # Corrupt or stale entry: drop it and recompute.
+            path.unlink(missing_ok=True)
+            return None
+
+    def store(self, key: str, point: SweepPoint) -> None:
+        tmp = self._path(key).with_suffix(".tmp")
+        tmp.write_text(json.dumps(_point_to_json(point)))
+        tmp.replace(self._path(key))
+
+
+def _run_spec(spec: PointSpec) -> SweepPoint:
+    """Module-level worker entry point (must be picklable itself)."""
+    return spec.run()
+
+
+# ------------------------------------------------------------------ executor
+
+
+def run_sweep(
+    specs: Sequence[PointSpec],
+    workers: Optional[int] = None,
+    cache_dir: Optional[os.PathLike] = None,
+) -> List[SweepPoint]:
+    """Run every spec and return results in input order.
+
+    ``workers`` > 1 fans the uncached points across a process pool; ``None``
+    or 1 runs serially (``0`` means "auto": $REPRO_SWEEP_WORKERS or the CPU
+    count).  ``cache_dir`` enables the on-disk result cache, so repeated
+    figure runs skip completed points.
+    """
+    if workers == 0:
+        workers = available_workers()
+    workers = 1 if workers is None else max(1, workers)
+
+    cache = SweepCache(Path(cache_dir)) if cache_dir is not None else None
+    results: List[Optional[SweepPoint]] = [None] * len(specs)
+    pending: List[int] = []
+
+    for index, spec in enumerate(specs):
+        if cache is not None and spec.is_portable():
+            cached = cache.load(spec.cache_key())
+            if cached is not None:
+                results[index] = cached
+                continue
+        pending.append(index)
+
+    parallel_indices = [
+        i for i in pending if workers > 1 and specs[i].is_portable()
+    ]
+    parallel_set = set(parallel_indices)
+    serial_indices = [i for i in pending if i not in parallel_set]
+
+    if parallel_indices:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=min(workers, len(parallel_indices))) as pool:
+                for index, point in zip(
+                    parallel_indices,
+                    pool.map(_run_spec, [specs[i] for i in parallel_indices]),
+                ):
+                    results[index] = point
+        except (OSError, ImportError, RuntimeError, pickle.PicklingError, AttributeError, TypeError):
+            # Restricted environments (no semaphores / fork) and specs that
+            # turn out not to pickle fall back to the serial path (points the
+            # pool did complete are kept).  A genuine simulation error
+            # re-raises from the serial run below, so broad catching here
+            # cannot mask it; results are identical either way.
+            serial_indices = sorted(parallel_set.union(serial_indices))
+
+    for index in serial_indices:
+        if results[index] is None:
+            results[index] = specs[index].run()
+
+    if cache is not None:
+        for index in pending:
+            spec = specs[index]
+            if spec.is_portable() and results[index] is not None:
+                cache.store(spec.cache_key(), results[index])
+
+    return results  # type: ignore[return-value]
+
+
+def sweep_curves(
+    specs: Sequence[PointSpec],
+    points: Sequence[SweepPoint],
+    protocols: Sequence[ProtocolName],
+) -> Dict[ProtocolName, List[SweepPoint]]:
+    """Group flat (spec, point) pairs into per-protocol curves, input-ordered."""
+    curves: Dict[ProtocolName, List[SweepPoint]] = {p: [] for p in protocols}
+    for spec, point in zip(specs, points):
+        curves[spec.protocol].append(point)
+    return curves

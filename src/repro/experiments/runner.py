@@ -170,29 +170,68 @@ def run_point(
     )
 
 
-def microbenchmark_factory(scale: ExperimentScale, think_cycles: int = 0):
-    """Factory building a fresh locking microbenchmark per seed."""
+@dataclass(frozen=True)
+class LockingWorkloadSpec:
+    """Picklable description of a locking-microbenchmark workload.
 
-    def build(seed: int) -> Workload:
+    Calling the spec with a seed builds a fresh workload, so it drops into the
+    ``workload_factory`` slot of :func:`run_point` while remaining cheap to
+    ship to process-pool workers and stable to hash for the result cache.
+    """
+
+    num_locks: int
+    acquires_per_processor: int
+    think_cycles: int = 0
+    think_jitter: int = 16
+
+    def __call__(self, seed: int) -> Workload:
         return LockingMicrobenchmark(
-            num_locks=scale.num_locks,
-            acquires_per_processor=scale.acquires_per_processor,
-            think_cycles=think_cycles,
-            think_jitter=16,
+            num_locks=self.num_locks,
+            acquires_per_processor=self.acquires_per_processor,
+            think_cycles=self.think_cycles,
+            think_jitter=self.think_jitter,
         )
 
-    return build
+    def cache_token(self) -> str:
+        """Stable identity for the on-disk sweep cache."""
+        return repr(self)
 
 
-def synthetic_factory(scale: ExperimentScale, preset_name: str):
-    """Factory building a fresh synthetic commercial workload per seed."""
+@dataclass(frozen=True)
+class SyntheticWorkloadSpec:
+    """Picklable description of a synthetic commercial workload."""
 
-    def build(seed: int) -> Workload:
+    preset_name: str
+    operations_per_processor: int
+
+    def __call__(self, seed: int) -> Workload:
         return SyntheticCommercialWorkload(
-            preset_name, operations_per_processor=scale.operations_per_processor
+            self.preset_name,
+            operations_per_processor=self.operations_per_processor,
         )
 
-    return build
+    def cache_token(self) -> str:
+        """Stable identity for the on-disk sweep cache."""
+        return repr(self)
+
+
+def microbenchmark_factory(
+    scale: ExperimentScale, think_cycles: int = 0
+) -> LockingWorkloadSpec:
+    """Factory building a fresh locking microbenchmark per seed."""
+    return LockingWorkloadSpec(
+        num_locks=scale.num_locks,
+        acquires_per_processor=scale.acquires_per_processor,
+        think_cycles=think_cycles,
+        think_jitter=16,
+    )
+
+
+def synthetic_factory(scale: ExperimentScale, preset_name: str) -> SyntheticWorkloadSpec:
+    """Factory building a fresh synthetic commercial workload per seed."""
+    return SyntheticWorkloadSpec(
+        preset_name, operations_per_processor=scale.operations_per_processor
+    )
 
 
 def protocol_sweep(
@@ -200,30 +239,56 @@ def protocol_sweep(
     bandwidths: Iterable[float],
     workload_factory_builder,
     protocols: Sequence[ProtocolName] = PROTOCOLS,
+    workers: Optional[int] = None,
+    cache_dir=None,
     **run_kwargs,
 ) -> Dict[ProtocolName, List[SweepPoint]]:
-    """Run every protocol across a bandwidth sweep."""
-    curves: Dict[ProtocolName, List[SweepPoint]] = {p: [] for p in protocols}
-    for protocol in protocols:
-        for bandwidth in bandwidths:
-            point = run_point(
-                scale, protocol, bandwidth, workload_factory_builder, **run_kwargs
-            )
-            curves[protocol].append(point)
-    return curves
+    """Run every protocol across a bandwidth sweep.
+
+    ``workers`` and ``cache_dir`` are forwarded to
+    :func:`repro.experiments.parallel.run_sweep`: the sweep's (protocol,
+    bandwidth) points are independent simulations, so they fan out across a
+    process pool and memoise to the on-disk cache.  The default (``None``)
+    runs serially and produces point-for-point identical results.
+    """
+    from .parallel import PointSpec, run_sweep, sweep_curves
+
+    bandwidths = tuple(bandwidths)
+    specs = [
+        PointSpec(
+            scale=scale,
+            protocol=protocol,
+            bandwidth=bandwidth,
+            workload=workload_factory_builder,
+            **run_kwargs,
+        )
+        for protocol in protocols
+        for bandwidth in bandwidths
+    ]
+    points = run_sweep(specs, workers=workers, cache_dir=cache_dir)
+    return sweep_curves(specs, points, protocols)
 
 
 def normalize_to(
     curves: Dict[ProtocolName, List[SweepPoint]], reference: ProtocolName
 ) -> Dict[ProtocolName, List[float]]:
-    """Normalise each curve point-by-point to a reference protocol (Figure 5)."""
+    """Normalise each curve point-by-point to a reference protocol (Figure 5).
+
+    Points whose x-value has no counterpart on the reference curve (curves
+    measured on mismatched sweep grids), and points where the reference
+    performance is zero, normalise to 0.0 rather than failing.
+    """
+    if reference not in curves:
+        raise KeyError(
+            f"reference protocol {reference} not present in curves "
+            f"({sorted(str(p) for p in curves)})"
+        )
     reference_points = {point.x: point.performance for point in curves[reference]}
     normalised: Dict[ProtocolName, List[float]] = {}
     for protocol, points in curves.items():
-        normalised[protocol] = [
-            point.performance / reference_points[point.x]
-            if reference_points.get(point.x)
-            else 0.0
-            for point in points
-        ]
+        row: List[float] = []
+        for point in points:
+            baseline = reference_points.get(point.x, 0.0)
+            row.append(point.performance / baseline if baseline else 0.0)
+        normalised[protocol] = row
     return normalised

@@ -13,13 +13,28 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import List
+from typing import Dict, List, Tuple
 
 from ..errors import NetworkError
 
 
 class EndpointLink:
     """One direction (in or out) of a node's link to the interconnect."""
+
+    __slots__ = (
+        "name",
+        "bytes_per_cycle",
+        "_busy_until",
+        "_busy_total",
+        "_messages",
+        "_bytes",
+        "_segment_starts",
+        "_segment_finishes",
+        "_segment_prefix",
+        "_occupancy_cache",
+        "_query_memo",
+        "_query_memo2",
+    )
 
     def __init__(self, name: str, bytes_per_cycle: float) -> None:
         if bytes_per_cycle <= 0:
@@ -38,6 +53,16 @@ class EndpointLink:
         self._segment_starts: List[int] = []
         self._segment_finishes: List[int] = []
         self._segment_prefix: List[int] = []
+        # Memoised (size_bytes, cost_factor) -> occupancy cycles; messages come
+        # in a handful of distinct sizes, so this avoids a float divide + ceil
+        # on the transmit fast path.
+        self._occupancy_cache: Dict[Tuple[int, float], int] = {}
+        # Two-deep memo of recent busy_time_up_to() queries.  The adaptive
+        # mechanism samples utilization over [previous_now, now) windows, so
+        # each sample's window_start query repeats the previous sample's
+        # window_end query exactly.
+        self._query_memo: Tuple[int, int] = (-1, 0)
+        self._query_memo2: Tuple[int, int] = (-1, 0)
 
     @property
     def busy_until(self) -> int:
@@ -56,11 +81,16 @@ class EndpointLink:
 
     def occupancy_cycles(self, size_bytes: int, cost_factor: float = 1.0) -> int:
         """Cycles this link is occupied by a message of ``size_bytes``."""
+        cached = self._occupancy_cache.get((size_bytes, cost_factor))
+        if cached is not None:
+            return cached
         if size_bytes <= 0:
             raise NetworkError(f"message size must be positive, got {size_bytes}")
         if cost_factor < 1.0:
             raise NetworkError(f"cost factor must be >= 1, got {cost_factor}")
-        return max(1, math.ceil(size_bytes * cost_factor / self.bytes_per_cycle))
+        cycles = max(1, math.ceil(size_bytes * cost_factor / self.bytes_per_cycle))
+        self._occupancy_cache[(size_bytes, cost_factor)] = cycles
+        return cycles
 
     def transmit(self, now: int, size_bytes: int, cost_factor: float = 1.0) -> int:
         """Occupy the link with a message arriving at cycle ``now``.
@@ -69,17 +99,31 @@ class EndpointLink:
         serviced in arrival order, so a message arriving while the link is busy
         waits until the earlier transfers finish.
         """
-        cycles = self.occupancy_cycles(size_bytes, cost_factor)
-        start = max(now, self._busy_until)
-        finish = start + cycles
-        if self._segment_finishes and start <= self._segment_finishes[-1]:
-            # Back-to-back transfer: extend the current busy period.
-            self._segment_finishes[-1] = finish
+        # Unit cost dominates, so it is cached under the bare size (an int key
+        # hashes in C and needs no tuple allocation); other cost factors fall
+        # back to the (size, cost) tuple key.  The two key shapes cannot
+        # collide in the shared dict.
+        cache = self._occupancy_cache
+        if cost_factor == 1.0:
+            cycles = cache.get(size_bytes)
+            if cycles is None:
+                cycles = self.occupancy_cycles(size_bytes, cost_factor)
+                cache[size_bytes] = cycles
         else:
-            prefix = self._busy_total
+            cycles = cache.get((size_bytes, cost_factor))
+            if cycles is None:
+                cycles = self.occupancy_cycles(size_bytes, cost_factor)
+        busy_until = self._busy_until
+        start = now if now > busy_until else busy_until
+        finish = start + cycles
+        finishes = self._segment_finishes
+        if finishes and start <= finishes[-1]:
+            # Back-to-back transfer: extend the current busy period.
+            finishes[-1] = finish
+        else:
             self._segment_starts.append(start)
-            self._segment_finishes.append(finish)
-            self._segment_prefix.append(prefix)
+            finishes.append(finish)
+            self._segment_prefix.append(self._busy_total)
         self._busy_until = finish
         self._busy_total += cycles
         self._messages += 1
@@ -88,6 +132,12 @@ class EndpointLink:
 
     def busy_time_up_to(self, time: int) -> int:
         """Total busy cycles in ``[0, time)``, exact for any query time."""
+        memo = self._query_memo
+        if memo[0] == time:
+            return memo[1]
+        memo2 = self._query_memo2
+        if memo2[0] == time:
+            return memo2[1]
         if not self._segment_starts:
             return 0
         index = bisect.bisect_right(self._segment_starts, time) - 1
@@ -95,7 +145,14 @@ class EndpointLink:
             return 0
         start = self._segment_starts[index]
         finish = self._segment_finishes[index]
-        return self._segment_prefix[index] + max(0, min(finish, time) - start)
+        busy = self._segment_prefix[index] + max(0, min(finish, time) - start)
+        # Memoising is only sound for times the link's history can no longer
+        # change: past segments are immutable once a later transfer starts,
+        # but the final segment may still be extended in place.
+        if self._segment_finishes[-1] > time or index < len(self._segment_starts) - 1:
+            self._query_memo2 = memo
+            self._query_memo = (time, busy)
+        return busy
 
     def utilization(self, window_start: int, window_end: int) -> float:
         """Fraction of cycles busy within ``[window_start, window_end)``."""
@@ -107,6 +164,8 @@ class EndpointLink:
 
 class LinkPair:
     """The incoming and outgoing halves of one node's endpoint link."""
+
+    __slots__ = ("node_id", "outgoing", "incoming")
 
     def __init__(self, node_id: int, bytes_per_cycle: float) -> None:
         self.node_id = node_id

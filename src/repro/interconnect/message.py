@@ -18,7 +18,6 @@ Message kinds cover all three protocols:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import FrozenSet, Optional
 
@@ -39,6 +38,10 @@ class MessageType(Enum):
     PUT_NACK = "PUT_NACK"
     NACK = "NACK"
 
+    # Members are singletons, so identity hashing is equivalent to the default
+    # Enum hash but runs in C — message types key the per-event label caches.
+    __hash__ = object.__hash__
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
@@ -58,6 +61,8 @@ class DestinationUnit(Enum):
     CACHE = "cache"
     MEMORY = "memory"
 
+    __hash__ = object.__hash__
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
@@ -65,7 +70,6 @@ class DestinationUnit(Enum):
 _message_ids = itertools.count()
 
 
-@dataclass
 class Message:
     """One message travelling over the interconnect.
 
@@ -73,25 +77,68 @@ class Message:
     enters the switch fabric and is ``None`` for messages on the unordered
     network.  ``transaction_id`` ties responses, retries, markers and nacks
     back to the coherence transaction that created them.
+
+    One instance is allocated per protocol message (and touched on every hop),
+    so the class is ``__slots__``-based rather than a dataclass.
     """
 
-    msg_type: MessageType
-    src: int
-    address: int
-    size_bytes: int
-    requester: int
-    dest: Optional[int] = None
-    dest_unit: DestinationUnit = DestinationUnit.CACHE
-    recipients: FrozenSet[int] = frozenset()
-    transaction_id: int = -1
-    is_broadcast: bool = False
-    is_retry: bool = False
-    retry_count: int = 0
-    original_type: Optional[MessageType] = None
-    order_seq: Optional[int] = None
-    data_token: int = 0
-    issue_time: int = 0
-    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    __slots__ = (
+        "msg_type",
+        "src",
+        "address",
+        "size_bytes",
+        "requester",
+        "dest",
+        "dest_unit",
+        "recipients",
+        "transaction_id",
+        "is_broadcast",
+        "is_retry",
+        "retry_count",
+        "original_type",
+        "order_seq",
+        "data_token",
+        "issue_time",
+        "msg_id",
+    )
+
+    def __init__(
+        self,
+        msg_type: MessageType,
+        src: int,
+        address: int,
+        size_bytes: int,
+        requester: int,
+        dest: Optional[int] = None,
+        dest_unit: DestinationUnit = DestinationUnit.CACHE,
+        recipients: FrozenSet[int] = frozenset(),
+        transaction_id: int = -1,
+        is_broadcast: bool = False,
+        is_retry: bool = False,
+        retry_count: int = 0,
+        original_type: Optional[MessageType] = None,
+        order_seq: Optional[int] = None,
+        data_token: int = 0,
+        issue_time: int = 0,
+        msg_id: Optional[int] = None,
+    ) -> None:
+        self.msg_type = msg_type
+        self.src = src
+        self.address = address
+        self.size_bytes = size_bytes
+        self.requester = requester
+        self.dest = dest
+        self.dest_unit = dest_unit
+        self.recipients = recipients
+        self.transaction_id = transaction_id
+        self.is_broadcast = is_broadcast
+        self.is_retry = is_retry
+        self.retry_count = retry_count
+        self.original_type = original_type
+        self.order_seq = order_seq
+        self.data_token = data_token
+        self.issue_time = issue_time
+        self.msg_id = next(_message_ids) if msg_id is None else msg_id
 
     @property
     def request_kind(self) -> MessageType:
@@ -106,14 +153,23 @@ class Message:
 
     def copy_for_retry(self, recipients: FrozenSet[int], broadcast: bool) -> "Message":
         """A retried version of this request with a new recipient set."""
-        return replace(
-            self,
+        return Message(
+            msg_type=self.msg_type,
+            src=self.src,
+            address=self.address,
+            size_bytes=self.size_bytes,
+            requester=self.requester,
+            dest=self.dest,
+            dest_unit=self.dest_unit,
             recipients=recipients,
+            transaction_id=self.transaction_id,
+            is_broadcast=broadcast,
             is_retry=True,
             retry_count=self.retry_count + 1,
-            is_broadcast=broadcast,
+            original_type=self.original_type,
             order_seq=None,
-            msg_id=next(_message_ids),
+            data_token=self.data_token,
+            issue_time=self.issue_time,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -17,13 +17,15 @@ property the protocols depend on to avoid explicit acknowledgements.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet
+from functools import partial
+
+from typing import Callable, Dict, FrozenSet, Tuple
 
 from ..common.stats import StatsRegistry
 from ..errors import NetworkError
 from ..sim.scheduler import Scheduler
 from .link import LinkPair
-from .message import Message
+from .message import Message, MessageType
 
 #: Signature of a node's handler for ordered (request network) deliveries.
 OrderedHandler = Callable[[Message], None]
@@ -51,6 +53,23 @@ class TotallyOrderedNetwork:
         self.broadcast_cost_factor = broadcast_cost_factor
         self._handlers: Dict[int, OrderedHandler] = {}
         self._order_sequence = 0
+        # Hot-path caches: stat handles hoisted out of the per-message path and
+        # memoised label strings (there are only O(types x nodes) distinct
+        # labels, but an f-string per event costs more than the heap push).
+        self._messages_counter = stats.counter("network.ordered.messages")
+        self._broadcasts_counter = stats.counter("network.ordered.broadcasts")
+        self._multicasts_counter = stats.counter("network.ordered.multicasts")
+        self._inject_labels: Dict[MessageType, str] = {}
+        # (msg_type, node) -> (arrive label, arrive callable prebound to the
+        # node) so the broadcast fan-out allocates nothing per recipient.
+        self._arrive_labels: Dict[Tuple[MessageType, int], Tuple[str, Callable]] = {}
+        self._deliver_labels: Dict[Tuple[MessageType, int], str] = {}
+        # Recipient sets recur (all-nodes broadcasts, {home, requester}
+        # dualcasts), and frozensets cache their hash, so memoising the sorted
+        # order avoids a sort per fan-out.
+        self._sorted_recipients: Dict[FrozenSet[int], Tuple[int, ...]] = {}
+        # Per-node (incoming link, handler) pairs resolved once.
+        self._arrive_cache: Dict[int, Tuple] = {}
 
     @property
     def next_order_sequence(self) -> int:
@@ -62,6 +81,7 @@ class TotallyOrderedNetwork:
         if node_id not in self.links:
             raise NetworkError(f"node {node_id} has no endpoint link")
         self._handlers[node_id] = handler
+        self._arrive_cache.pop(node_id, None)
 
     def send(self, message: Message, recipients: FrozenSet[int]) -> None:
         """Inject ``message`` destined for ``recipients`` (which may be all nodes)."""
@@ -79,38 +99,58 @@ class TotallyOrderedNetwork:
         injection_time = out_link.transmit(
             self.scheduler.now, message.size_bytes, cost_factor
         )
-        self.stats.counter("network.ordered.messages").increment()
+        self._messages_counter._count += 1
         if message.is_broadcast:
-            self.stats.counter("network.ordered.broadcasts").increment()
+            self._broadcasts_counter._count += 1
         else:
-            self.stats.counter("network.ordered.multicasts").increment()
-        self.scheduler.schedule_at(
-            injection_time,
-            lambda: self._enter_switch(message, cost_factor),
-            label=f"ordered-inject:{message.msg_type}",
+            self._multicasts_counter._count += 1
+        msg_type = message.msg_type
+        label = self._inject_labels.get(msg_type)
+        if label is None:
+            label = f"ordered-inject:{msg_type}"
+            self._inject_labels[msg_type] = label
+        self.scheduler.schedule_at_fast1(
+            injection_time, self._enter_switch, message, label=label
         )
 
-    def _enter_switch(self, message: Message, cost_factor: float) -> None:
+    def _enter_switch(self, message: Message) -> None:
         """Assign the total-order sequence number and fan the message out."""
         message.order_seq = self._order_sequence
         self._order_sequence += 1
         exit_time = self.scheduler.now + self.traversal_cycles
-        for node_id in sorted(message.recipients):
-            self.scheduler.schedule_at(
-                exit_time,
-                lambda nid=node_id: self._arrive(message, nid, cost_factor),
-                label=f"ordered-arrive:{message.msg_type}:n{node_id}",
-            )
+        msg_type = message.msg_type
+        labels = self._arrive_labels
+        schedule_at1 = self.scheduler.schedule_at_fast1
+        recipients = message.recipients
+        order = self._sorted_recipients.get(recipients)
+        if order is None:
+            order = tuple(sorted(recipients))
+            self._sorted_recipients[recipients] = order
+        for node_id in order:
+            cached = labels.get((msg_type, node_id))
+            if cached is None:
+                cached = (
+                    f"ordered-arrive:{msg_type}:n{node_id}",
+                    partial(self._arrive, node_id),
+                )
+                labels[(msg_type, node_id)] = cached
+            schedule_at1(exit_time, cached[1], message, label=cached[0])
 
-    def _arrive(self, message: Message, node_id: int, cost_factor: float) -> None:
+    def _arrive(self, node_id: int, message: Message) -> None:
         """Queue the message on the recipient's incoming link, then deliver."""
-        in_link = self.links[node_id].incoming
+        entry = self._arrive_cache.get(node_id)
+        if entry is None:
+            handler = self._handlers.get(node_id)
+            if handler is None:
+                raise NetworkError(f"no ordered handler registered for node {node_id}")
+            entry = (self.links[node_id].incoming, handler)
+            self._arrive_cache[node_id] = entry
+        in_link, handler = entry
+        cost_factor = self.broadcast_cost_factor if message.is_broadcast else 1.0
         done = in_link.transmit(self.scheduler.now, message.size_bytes, cost_factor)
-        handler = self._handlers.get(node_id)
-        if handler is None:
-            raise NetworkError(f"no ordered handler registered for node {node_id}")
-        self.scheduler.schedule_at(
-            done,
-            lambda: handler(message),
-            label=f"ordered-deliver:{message.msg_type}:n{node_id}",
-        )
+        msg_type = message.msg_type
+        label = self._deliver_labels.get((msg_type, node_id))
+        if label is None:
+            label = f"ordered-deliver:{msg_type}:n{node_id}"
+            self._deliver_labels[(msg_type, node_id)] = label
+        self.scheduler.schedule_at_fast1(done, handler, message, label=label)

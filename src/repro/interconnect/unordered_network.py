@@ -8,13 +8,13 @@ beyond the FIFO behaviour of each individual link.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Tuple
 
 from ..common.stats import StatsRegistry
 from ..errors import NetworkError
 from ..sim.scheduler import Scheduler
 from .link import LinkPair
-from .message import Message
+from .message import Message, MessageType
 
 #: Signature of a node's handler for unordered (point-to-point) deliveries.
 UnorderedHandler = Callable[[Message], None]
@@ -39,6 +39,11 @@ class UnorderedNetwork:
         self.traversal_cycles = traversal_cycles
         self.stats = stats
         self._handlers: Dict[int, UnorderedHandler] = {}
+        # Hot-path caches mirroring the ordered network's (see there).
+        self._messages_counter = stats.counter("network.unordered.messages")
+        self._inject_labels: Dict[MessageType, str] = {}
+        self._arrive_labels: Dict[MessageType, str] = {}
+        self._deliver_labels: Dict[Tuple[MessageType, int], str] = {}
 
     def register(self, node_id: int, handler: UnorderedHandler) -> None:
         """Register the delivery handler for ``node_id``."""
@@ -56,20 +61,26 @@ class UnorderedNetwork:
             raise NetworkError(f"unknown source node {message.src}")
         out_link = self.links[message.src].outgoing
         injection_time = out_link.transmit(self.scheduler.now, message.size_bytes)
-        self.stats.counter("network.unordered.messages").increment()
-        self.scheduler.schedule_at(
-            injection_time,
-            lambda: self._traverse(message),
-            label=f"unordered-inject:{message.msg_type}",
+        self._messages_counter._count += 1
+        msg_type = message.msg_type
+        label = self._inject_labels.get(msg_type)
+        if label is None:
+            label = f"unordered-inject:{msg_type}"
+            self._inject_labels[msg_type] = label
+        self.scheduler.schedule_at_fast1(
+            injection_time, self._traverse, message, label=label
         )
 
     def _traverse(self, message: Message) -> None:
         """Cross the switch fabric and queue on the destination's link."""
         arrival_time = self.scheduler.now + self.traversal_cycles
-        self.scheduler.schedule_at(
-            arrival_time,
-            lambda: self._arrive(message),
-            label=f"unordered-arrive:{message.msg_type}",
+        msg_type = message.msg_type
+        label = self._arrive_labels.get(msg_type)
+        if label is None:
+            label = f"unordered-arrive:{msg_type}"
+            self._arrive_labels[msg_type] = label
+        self.scheduler.schedule_at_fast1(
+            arrival_time, self._arrive, message, label=label
         )
 
     def _arrive(self, message: Message) -> None:
@@ -79,8 +90,9 @@ class UnorderedNetwork:
         handler = self._handlers.get(message.dest)
         if handler is None:
             raise NetworkError(f"no unordered handler registered for node {message.dest}")
-        self.scheduler.schedule_at(
-            done,
-            lambda: handler(message),
-            label=f"unordered-deliver:{message.msg_type}:n{message.dest}",
-        )
+        key = (message.msg_type, message.dest)
+        label = self._deliver_labels.get(key)
+        if label is None:
+            label = f"unordered-deliver:{key[0]}:n{key[1]}"
+            self._deliver_labels[key] = label
+        self.scheduler.schedule_at_fast1(done, handler, message, label=label)

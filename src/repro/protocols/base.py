@@ -44,6 +44,7 @@ class CacheControllerBase(Component):
         self.blocks = CacheBlockStore(config.cache_capacity_blocks)
         self.transactions: Dict[int, Transaction] = {}
         self.writebacks: Dict[int, Transaction] = {}
+        self._system_miss_latency = None
 
     # ------------------------------------------------------------------ API
 
@@ -183,9 +184,10 @@ class CacheControllerBase(Component):
             issue_time=self.now,
         )
         self.count("data_responses")
-        self.schedule(
+        self.schedule_fast1(
             latency,
-            lambda: self.interconnect.send_unordered(message),
+            self.interconnect.send_unordered,
+            message,
             "data-response",
         )
 
@@ -201,13 +203,24 @@ class CacheControllerBase(Component):
             self.transactions.pop(transaction.address, None)
             latency = transaction.latency or 0
             self.record("miss_latency", latency)
-            self.stats.running_mean("system.miss_latency").record(latency)
+            mean = self._system_miss_latency
+            if mean is None:
+                mean = self._system_miss_latency = self.stats.running_mean(
+                    "system.miss_latency"
+                )
+            mean.record(latency)
         if transaction.completion_callback is not None:
             transaction.completion_callback(transaction)
 
 
 class MemoryControllerBase(Component):
     """Common memory-side behaviour: directory store and data responses."""
+
+    #: When True, :meth:`handle_ordered` acts only on home addresses, so the
+    #: node may skip the call entirely for non-home deliveries.  Every
+    #: controller in this repository satisfies the contract (the Directory
+    #: home consumes nothing from the ordered network at all).
+    ordered_home_only = True
 
     def __init__(
         self,
@@ -222,10 +235,17 @@ class MemoryControllerBase(Component):
         self.config = config
         self.interconnect = interconnect
         self.directory = DirectoryStore()
+        # Home interleaving is fixed per run, and every ordered delivery asks
+        # "is this mine?" — memoise the answer per block address.
+        self._home_cache: Dict[int, bool] = {}
 
     def is_home_for(self, address: int) -> bool:
         """True when this controller is the home for ``address``."""
-        return self.config.home_node(address) == self.node_id
+        cached = self._home_cache.get(address)
+        if cached is None:
+            cached = self.config.home_node(address) == self.node_id
+            self._home_cache[address] = cached
+        return cached
 
     def handle_ordered(self, message: Message) -> None:
         """Process a message delivered by the totally ordered network."""
@@ -252,9 +272,10 @@ class MemoryControllerBase(Component):
             issue_time=self.now,
         )
         self.count("data_responses")
-        self.schedule(
+        self.schedule_fast1(
             self.config.latency.dram_access,
-            lambda: self.interconnect.send_unordered(message),
+            self.interconnect.send_unordered,
+            message,
             "memory-data",
         )
 
@@ -279,8 +300,9 @@ class MemoryControllerBase(Component):
             transaction_id=transaction_id,
             issue_time=self.now,
         )
-        self.schedule(
+        self.schedule_fast1(
             delay,
-            lambda: self.interconnect.send_unordered(message),
+            self.interconnect.send_unordered,
+            message,
             f"control-{msg_type}",
         )

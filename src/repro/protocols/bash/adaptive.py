@@ -31,7 +31,7 @@ from ...common.counters import SignedSaturatingCounter, UnsignedSaturatingCounte
 from ...common.lfsr import LinearFeedbackShiftRegister
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AdaptiveSample:
     """Snapshot of one sampling-interval update (useful for tests and plots)."""
 

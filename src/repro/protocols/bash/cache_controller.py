@@ -41,13 +41,21 @@ class BashCacheController(SnoopingCacheController):
             seed = 0xACE1
         self.adaptive = BandwidthAdaptiveMechanism(adaptive_config, lfsr_seed=seed)
         self._window_start = 0
+        # System-wide stat handles, hoisted out of the per-sample/per-request
+        # paths (registry lookups cost a dict probe plus string hash each).
+        self._sys_link_utilization = self.stats.running_mean("system.link_utilization")
+        self._sys_unicast_probability = self.stats.running_mean(
+            "system.unicast_probability"
+        )
+        self._sys_broadcast_decisions = self.stats.counter("system.broadcast_decisions")
+        self._sys_unicast_decisions = self.stats.counter("system.unicast_decisions")
         self._schedule_sampling()
 
     # ----------------------------------------------------------- adaptation
 
     def _schedule_sampling(self) -> None:
         interval = self.config.adaptive.sampling_interval
-        self.schedule(interval, self._sample_utilization, "adaptive-sample")
+        self.schedule_fast(interval, self._sample_utilization, "adaptive-sample")
 
     def _sample_utilization(self) -> None:
         """End one sampling interval: read the local link and update counters."""
@@ -60,10 +68,8 @@ class BashCacheController(SnoopingCacheController):
         self.adaptive.observe_cycles(busy, idle)
         self.adaptive.sample(time=now, utilization=utilization)
         self.record("link_utilization", utilization)
-        self.stats.running_mean("system.link_utilization").record(utilization)
-        self.stats.running_mean("system.unicast_probability").record(
-            self.adaptive.unicast_probability
-        )
+        self._sys_link_utilization.record(utilization)
+        self._sys_unicast_probability.record(self.adaptive.unicast_probability)
         self._window_start = now
         self._schedule_sampling()
 
@@ -74,11 +80,11 @@ class BashCacheController(SnoopingCacheController):
         if self.adaptive.should_broadcast():
             transaction.was_broadcast = True
             self.count("broadcast_decisions")
-            self.stats.counter("system.broadcast_decisions").increment()
+            self._sys_broadcast_decisions.increment()
             return self.interconnect.all_nodes
         transaction.was_broadcast = False
         self.count("unicast_decisions")
-        self.stats.counter("system.unicast_decisions").increment()
+        self._sys_unicast_decisions.increment()
         home = self.home_of(transaction.address)
         return frozenset({home, self.node_id})
 

@@ -104,7 +104,7 @@ class BashMemoryController(OrderedHomeMemoryController):
         self.stats.counter("system.retries").increment()
         retry = message.copy_for_retry(frozenset(recipients), broadcast=escalate)
         retry.src = self.node_id
-        self.schedule(
+        self.schedule_fast(
             self.config.latency.dram_access,
             lambda: self.interconnect.send_ordered(retry, recipients),
             "bash-retry",

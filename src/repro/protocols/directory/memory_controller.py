@@ -121,7 +121,7 @@ class DirectoryMemoryController(MemoryControllerBase):
             transaction_id=request.transaction_id,
             issue_time=self.now,
         )
-        self.schedule(
+        self.schedule_fast(
             self.config.latency.dram_access,
             lambda: self.interconnect.send_ordered(
                 marker, frozenset({request.requester})
@@ -144,7 +144,7 @@ class DirectoryMemoryController(MemoryControllerBase):
             issue_time=self.now,
         )
         self.count("forwards")
-        self.schedule(
+        self.schedule_fast(
             self.config.latency.dram_access,
             lambda: self.interconnect.send_ordered(forward, recipients),
             f"forward-{msg_type}",
@@ -163,7 +163,7 @@ class DirectoryMemoryController(MemoryControllerBase):
             transaction_id=transaction_id,
             issue_time=self.now,
         )
-        self.schedule(
+        self.schedule_fast(
             self.config.latency.dram_access,
             lambda: self.interconnect.send_ordered(message, frozenset({dest})),
             f"put-response-{msg_type}",

@@ -72,18 +72,28 @@ class SnoopingCacheController(CacheControllerBase):
 
     def handle_ordered(self, message: Message) -> None:
         """Snoop one request delivered in the global total order."""
-        if message.msg_type not in (
-            MessageType.GETS,
-            MessageType.GETM,
-            MessageType.PUTM,
+        msg_type = message.msg_type
+        if (
+            msg_type is not MessageType.GETS
+            and msg_type is not MessageType.GETM
+            and msg_type is not MessageType.PUTM
         ):
             raise ProtocolError(
                 f"snooping cache controller cannot handle {message.msg_type}"
             )
         if message.requester == self.node_id:
             self._handle_own_request(message)
-        else:
-            self._handle_other_request(message)
+            return
+        if msg_type is MessageType.PUTM:
+            return  # only the writer and the home memory care about a PUT
+        # Early-out inline: most snoops are for blocks this node neither holds
+        # nor has a transaction for, and must not pay another call frame.
+        address = message.address
+        transaction = self.transactions.get(address)
+        block = self.blocks.get(address)
+        if block is None and (transaction is None or transaction.completed):
+            return
+        self._handle_other_request(message)
 
     # Own requests ---------------------------------------------------------
 
@@ -181,9 +191,10 @@ class SnoopingCacheController(CacheControllerBase):
             data_token=data_token,
             issue_time=self.now,
         )
-        self.schedule(
+        self.schedule_fast1(
             self.config.latency.cache_response,
-            lambda: self.interconnect.send_unordered(message),
+            self.interconnect.send_unordered,
+            message,
             f"writeback-{msg_type}",
         )
 
@@ -194,7 +205,16 @@ class SnoopingCacheController(CacheControllerBase):
             return  # only the writer and the home memory care about a PUT
         address = message.address
         transaction = self.transactions.get(address)
-        block = self.blocks.lookup(address)
+        block = self.blocks.get(address)
+        if block is None:
+            # No record and no pending transaction for this address: the snoop
+            # cannot concern us, so don't materialise an Invalid record (one
+            # would be allocated per node per snooped request otherwise).
+            # handle_ordered short-circuits this case before calling here, but
+            # keep the guard for direct callers.
+            if transaction is None or transaction.completed:
+                return
+            block = self.blocks.lookup(address)
         if transaction is not None and not transaction.completed:
             if (
                 transaction.kind is MessageType.GETM

@@ -22,6 +22,12 @@ class Component:
         self.name = name
         self.scheduler = scheduler
         self.stats = stats
+        # Hot-path caches: formatted labels and resolved stat handles, keyed by
+        # the (small, fixed) set of suffixes each component uses.
+        self._label_prefix = name + ":"
+        self._label_cache: dict = {}
+        self._counter_cache: dict = {}
+        self._mean_cache: dict = {}
 
     @property
     def now(self) -> int:
@@ -30,7 +36,37 @@ class Component:
 
     def schedule(self, delay: int, callback: Callable[[], Any], label: str = "") -> Event:
         """Schedule ``callback`` after ``delay`` cycles, tagged with this component."""
-        return self.scheduler.schedule_after(delay, callback, f"{self.name}:{label}")
+        full = self._label_cache.get(label)
+        if full is None:
+            full = self._label_prefix + label
+            self._label_cache[label] = full
+        return self.scheduler.schedule_after(delay, callback, full)
+
+    def schedule_fast(self, delay: int, callback: Callable[[], Any], label: str = "") -> None:
+        """Like :meth:`schedule` but non-cancellable and allocation-free.
+
+        Use for fire-and-forget latency modelling on hot paths; there is no
+        returned handle to cancel.
+        """
+        full = self._label_cache.get(label)
+        if full is None:
+            full = self._label_prefix + label
+            self._label_cache[label] = full
+        self.scheduler.schedule_after_fast(delay, callback, full)
+
+    def schedule_fast1(
+        self, delay: int, callback: Callable[[Any], Any], arg: Any, label: str = ""
+    ) -> None:
+        """Like :meth:`schedule_fast` but for ``callback(arg)``.
+
+        The argument rides in the heap entry, so call sites reuse one bound
+        callable instead of allocating a closure or partial per event.
+        """
+        full = self._label_cache.get(label)
+        if full is None:
+            full = self._label_prefix + label
+            self._label_cache[label] = full
+        self.scheduler.schedule_after_fast1(delay, callback, arg, full)
 
     def stat_name(self, suffix: str) -> str:
         """Fully qualified statistic name for this component."""
@@ -38,11 +74,19 @@ class Component:
 
     def count(self, suffix: str, amount: int = 1) -> None:
         """Increment a counter scoped to this component."""
-        self.stats.counter(self.stat_name(suffix)).increment(amount)
+        counter = self._counter_cache.get(suffix)
+        if counter is None:
+            counter = self.stats.counter(self.stat_name(suffix))
+            self._counter_cache[suffix] = counter
+        counter._count += amount
 
     def record(self, suffix: str, value: float) -> None:
         """Record a sample in a running mean scoped to this component."""
-        self.stats.running_mean(self.stat_name(suffix)).record(value)
+        mean = self._mean_cache.get(suffix)
+        if mean is None:
+            mean = self.stats.running_mean(self.stat_name(suffix))
+            self._mean_cache[suffix] = mean
+        mean.record(value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name!r})"

@@ -1,30 +1,59 @@
-"""Events scheduled on the discrete-event simulator."""
+"""Events scheduled on the discrete-event simulator.
+
+The event core is the hottest code in the repository: every message hop,
+link occupancy and sequencer step allocates one :class:`Event` and pushes it
+through the scheduler's heap.  The class is therefore ``__slots__``-based (no
+instance ``__dict__``, no dataclass machinery) and ordering lives in the
+scheduler's ``(time, sequence, event)`` heap tuples rather than in rich
+comparison methods on the event itself.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 
-@dataclass(order=True)
 class Event:
     """A callback scheduled to run at an absolute simulation time.
 
-    Events compare by ``(time, sequence)`` so that ties are broken by insertion
-    order, which keeps the simulation deterministic for a fixed seed.
+    Events are ordered by ``(time, sequence)`` — ties broken by insertion
+    order — which keeps the simulation deterministic for a fixed seed.  The
+    ordering itself is enforced by the scheduler's heap keys; two events never
+    need to be compared directly.
     """
 
-    time: int
-    sequence: int
-    callback: Callable[[], Any] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "sequence", "callback", "label", "cancelled", "_scheduler")
+
+    def __init__(
+        self,
+        time: int,
+        sequence: int,
+        callback: Callable[[], Any],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        #: Back-pointer used for live-pending accounting; the scheduler clears
+        #: it when the event leaves the queue (fired, skipped or drained).
+        self._scheduler: Optional[Any] = None
 
     def cancel(self) -> None:
         """Mark the event so the scheduler skips it when it is dequeued."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler._note_cancel()
 
     def fire(self) -> None:
         """Run the callback unless the event was cancelled."""
         if not self.cancelled:
             self.callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time}, seq={self.sequence}, {self.label!r}{flag})"

@@ -27,11 +27,14 @@ class Simulator:
         until: Optional[int] = None,
         max_events: Optional[int] = None,
         stop_when: Optional[Callable[[], bool]] = None,
+        stop_flag=None,
     ) -> int:
         """Run the simulation; see :meth:`Scheduler.run` for the stop rules."""
         if self._finished:
             raise SimulationError("simulator has already been finished")
-        return self.scheduler.run(until=until, max_events=max_events, stop_when=stop_when)
+        return self.scheduler.run(
+            until=until, max_events=max_events, stop_when=stop_when, stop_flag=stop_flag
+        )
 
     def run_until_quiescent(self, max_events: int = 10_000_000) -> int:
         """Run until no events remain, guarding against runaway simulations."""

@@ -98,6 +98,14 @@ class MultiprocessorSystem:
             self.interconnect.register_node(
                 node_id, node.deliver_ordered, node.deliver_unordered
             )
+        # The workload-finished check runs once per fired event, so it must be
+        # as cheap as possible: count down running sequencers and flip a stop
+        # cell the scheduler polls with a C-level subscript (see
+        # Scheduler.run's stop_flag).
+        self._running_sequencers = len(self.nodes)
+        self._stop_cell = [False]
+        for node in self.nodes:
+            node.sequencer.on_done = self._note_sequencer_done
 
     # ----------------------------------------------------------------- running
 
@@ -109,10 +117,11 @@ class MultiprocessorSystem:
         """Run until the workload completes on every processor."""
         for node in self.nodes:
             node.sequencer.start()
+        self._stop_cell[0] = self._running_sequencers == 0
         self.simulator.run(
             until=max_cycles,
             max_events=max_events,
-            stop_when=self._workload_finished,
+            stop_flag=self._stop_cell,
         )
         if not self._workload_finished() and self.simulator.scheduler.pending == 0:
             raise SimulationError(
@@ -121,8 +130,13 @@ class MultiprocessorSystem:
             )
         return self.result()
 
+    def _note_sequencer_done(self) -> None:
+        self._running_sequencers -= 1
+        if self._running_sequencers == 0:
+            self._stop_cell[0] = True
+
     def _workload_finished(self) -> bool:
-        return all(node.sequencer.done for node in self.nodes)
+        return self._running_sequencers == 0
 
     # ----------------------------------------------------------------- metrics
 

@@ -27,6 +27,13 @@ class Node:
         self.cache_controller = cache_controller
         self.memory_controller = memory_controller
         self.sequencer = sequencer
+        # Memory controllers that declare ``ordered_home_only`` act on ordered
+        # deliveries only for their home addresses, so the node can pre-filter
+        # with a cached home test instead of paying a call per delivery.  The
+        # getattr default keeps plain test doubles on the unfiltered path.
+        self._home_filter = (
+            {} if getattr(memory_controller, "ordered_home_only", False) else None
+        )
 
     def deliver_ordered(self, message: Message) -> None:
         """Dispatch a totally ordered (request network) delivery.
@@ -36,7 +43,16 @@ class Node:
         home for the address.
         """
         self.cache_controller.handle_ordered(message)
-        self.memory_controller.handle_ordered(message)
+        home_filter = self._home_filter
+        if home_filter is None:
+            self.memory_controller.handle_ordered(message)
+            return
+        address = message.address
+        home = home_filter.get(address)
+        if home is None:
+            home = home_filter[address] = self.memory_controller.is_home_for(address)
+        if home:
+            self.memory_controller.handle_ordered(message)
 
     def deliver_unordered(self, message: Message) -> None:
         """Dispatch a point-to-point delivery to the targeted controller."""

@@ -16,6 +16,7 @@ import random
 
 from ..common.config import SystemConfig
 from ..common.stats import StatsRegistry
+from ..coherence.state import MOSIState
 from ..coherence.transaction import Transaction
 from ..interconnect.message import MessageType
 from ..protocols.base import CacheControllerBase
@@ -48,7 +49,13 @@ class Sequencer(Component):
         self.misses = 0
         self.instructions = 0
         self.done = False
+        #: Optional hook invoked once when the reference stream is exhausted;
+        #: the multiprocessor uses it to keep an O(1) completion check.
+        self.on_done = None
         self._store_tokens = 0
+        # System-wide stat handles hoisted out of the per-operation path.
+        self._sys_operations = stats.counter("system.operations")
+        self._sys_instructions = stats.counter("system.instructions")
 
     # ----------------------------------------------------------------- drive
 
@@ -61,16 +68,19 @@ class Sequencer(Component):
         if operation is None:
             self.done = True
             self.count("finished")
+            if self.on_done is not None:
+                self.on_done()
             return
-        self.schedule(
-            max(0, operation.think_cycles),
-            lambda: self._perform(operation),
-            "perform",
+        self.schedule_fast1(
+            max(0, operation.think_cycles), self._perform, operation, "perform"
         )
 
     def _perform(self, operation: MemoryOperation) -> None:
         address = self.config.block_address(operation.address)
-        state = self.cache.state_of(address)
+        # Inline state lookup (equivalent to self.cache.state_of) — this runs
+        # once per memory reference and sits between every pair of events.
+        block = self.cache.blocks.get(address)
+        state = MOSIState.INVALID if block is None else block.state
         hit = state.can_write if operation.is_write else state.has_valid_data
         if hit:
             self._complete_hit(operation, address)
@@ -78,7 +88,7 @@ class Sequencer(Component):
         if self.cache.has_outstanding(address):
             # A writeback for this block is still in flight (possible when a
             # workload re-touches a block it just evicted); retry shortly.
-            self.schedule(10, lambda: self._perform(operation), "retry-busy")
+            self.schedule_fast1(10, self._perform, operation, "retry-busy")
             return
         self._maybe_evict()
         self.misses += 1
@@ -111,8 +121,8 @@ class Sequencer(Component):
     def _account(self, operation: MemoryOperation, latency: int, was_miss: bool) -> None:
         self.operations_completed += 1
         self.instructions += operation.instructions
-        self.stats.counter("system.operations").increment()
-        self.stats.counter("system.instructions").increment(operation.instructions)
+        self._sys_operations.increment()
+        self._sys_instructions.increment(operation.instructions)
         self.workload.on_complete(self.node_id, operation, latency, was_miss, self.now)
         self._fetch_next()
 

@@ -9,7 +9,7 @@ from typing import Optional
 from ..coherence.state import MOSIState
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryOperation:
     """One memory reference a processor will perform after some think time.
 

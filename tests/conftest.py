@@ -69,3 +69,26 @@ def build_trace_system(
 def protocol(request) -> ProtocolName:
     """Parametrised fixture running a test once per protocol."""
     return request.param
+
+
+@pytest.fixture(name="build_trace_system")
+def build_trace_system_fixture():
+    """The :func:`build_trace_system` helper, exposed as a fixture.
+
+    Test modules should request this instead of importing from ``conftest``
+    directly, which keeps them collectable regardless of how pytest maps
+    test files to packages.
+    """
+    return build_trace_system
+
+
+@pytest.fixture(name="small_config")
+def small_config_fixture():
+    """The :func:`small_config` helper, exposed as a fixture."""
+    return small_config
+
+
+@pytest.fixture(name="run_microbenchmark")
+def run_microbenchmark_fixture():
+    """The :func:`run_microbenchmark` helper, exposed as a fixture."""
+    return run_microbenchmark

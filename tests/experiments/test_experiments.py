@@ -63,6 +63,33 @@ class TestRunner:
         normalised = normalize_to(curves, ProtocolName.BASH)
         assert normalised[ProtocolName.BASH] == [pytest.approx(1.0)]
 
+    def test_normalize_to_handles_mismatched_sweep_grids(self):
+        # The snooping curve has an x-point the reference (BASH) curve lacks:
+        # that point must normalise to 0.0, not raise.
+        curves = protocol_sweep(
+            TINY,
+            (1600,),
+            microbenchmark_factory(TINY),
+            protocols=(ProtocolName.SNOOPING, ProtocolName.BASH),
+        )
+        extra = protocol_sweep(
+            TINY, (3200,), microbenchmark_factory(TINY),
+            protocols=(ProtocolName.SNOOPING,),
+        )
+        curves[ProtocolName.SNOOPING].extend(extra[ProtocolName.SNOOPING])
+        normalised = normalize_to(curves, ProtocolName.BASH)
+        assert normalised[ProtocolName.BASH] == [pytest.approx(1.0)]
+        assert normalised[ProtocolName.SNOOPING][0] > 0
+        assert normalised[ProtocolName.SNOOPING][1] == 0.0
+
+    def test_normalize_to_missing_reference_curve_raises(self):
+        curves = protocol_sweep(
+            TINY, (1600,), microbenchmark_factory(TINY),
+            protocols=(ProtocolName.SNOOPING,),
+        )
+        with pytest.raises(KeyError):
+            normalize_to(curves, ProtocolName.BASH)
+
     def test_quick_scale_has_paper_thresholds(self):
         adaptive = QUICK.adaptive_config(0.75)
         assert adaptive.utilization_threshold == 0.75

@@ -1,0 +1,153 @@
+"""The parallel sweep executor: determinism, caching, and fallback."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import ProtocolName
+from repro.experiments.parallel import (
+    PointSpec,
+    SweepCache,
+    available_workers,
+    run_sweep,
+    sweep_curves,
+)
+from repro.experiments.runner import (
+    PROTOCOLS,
+    QUICK,
+    LockingWorkloadSpec,
+    microbenchmark_factory,
+    protocol_sweep,
+)
+
+#: A deliberately tiny scale so each test point simulates in milliseconds.
+TINY = dataclasses.replace(
+    QUICK,
+    name="tiny",
+    microbenchmark_processors=4,
+    acquires_per_processor=8,
+    num_locks=16,
+    bandwidth_points=(800.0, 3200.0),
+    seeds=(1, 2),
+)
+
+
+def _specs(protocols=PROTOCOLS):
+    workload = microbenchmark_factory(TINY)
+    return [
+        PointSpec(scale=TINY, protocol=protocol, bandwidth=bandwidth, workload=workload)
+        for protocol in protocols
+        for bandwidth in TINY.bandwidth_points
+    ]
+
+
+def _key(point):
+    return (
+        point.protocol,
+        point.x,
+        point.performance,
+        point.mean_miss_latency,
+        point.link_utilization,
+        point.retries,
+    )
+
+
+class TestDeterminism:
+    def test_serial_equals_parallel_point_for_point(self):
+        specs = _specs()
+        serial = run_sweep(specs, workers=1)
+        parallel = run_sweep(specs, workers=2)
+        assert [_key(p) for p in serial] == [_key(p) for p in parallel]
+
+    def test_protocol_sweep_parallel_matches_serial(self):
+        workload = microbenchmark_factory(TINY)
+        serial = protocol_sweep(TINY, TINY.bandwidth_points, workload)
+        parallel = protocol_sweep(TINY, TINY.bandwidth_points, workload, workers=2)
+        for protocol in serial:
+            assert [_key(p) for p in serial[protocol]] == [
+                _key(p) for p in parallel[protocol]
+            ]
+
+    def test_per_point_seeding_is_independent_of_order(self):
+        specs = _specs()
+        forward = run_sweep(specs, workers=1)
+        backward = run_sweep(list(reversed(specs)), workers=1)
+        assert [_key(p) for p in forward] == [_key(p) for p in reversed(backward)]
+
+
+class TestCache:
+    def test_cache_hit_skips_resimulation(self, tmp_path, monkeypatch):
+        specs = _specs(protocols=(ProtocolName.BASH,))
+        first = run_sweep(specs, cache_dir=tmp_path)
+        # Poison run_point: a cache hit must not re-simulate.
+        import repro.experiments.parallel as parallel_module
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("cache miss: run_point was called")
+
+        monkeypatch.setattr(parallel_module, "run_point", boom)
+        second = run_sweep(specs, cache_dir=tmp_path)
+        assert [_key(p) for p in first] == [_key(p) for p in second]
+        assert second[0].results[0].stats  # full RunResults survive the cache
+
+    def test_cache_key_distinguishes_configs(self):
+        workload = microbenchmark_factory(TINY)
+        base = PointSpec(
+            scale=TINY, protocol=ProtocolName.BASH, bandwidth=800.0, workload=workload
+        )
+        assert base.cache_key() == dataclasses.replace(base).cache_key()
+        assert base.cache_key() != dataclasses.replace(base, bandwidth=1600.0).cache_key()
+        assert (
+            base.cache_key()
+            != dataclasses.replace(base, protocol=ProtocolName.SNOOPING).cache_key()
+        )
+        other_workload = LockingWorkloadSpec(
+            num_locks=TINY.num_locks,
+            acquires_per_processor=TINY.acquires_per_processor + 1,
+        )
+        assert (
+            base.cache_key()
+            != dataclasses.replace(base, workload=other_workload).cache_key()
+        )
+
+    def test_corrupt_cache_entry_is_recomputed(self, tmp_path):
+        specs = _specs(protocols=(ProtocolName.SNOOPING,))[:1]
+        run_sweep(specs, cache_dir=tmp_path)
+        entry = tmp_path / f"{specs[0].cache_key()}.json"
+        entry.write_text("{not json")
+        again = run_sweep(specs, cache_dir=tmp_path)
+        assert again[0].performance > 0
+
+
+class TestFallbacks:
+    def test_unportable_workload_runs_serially(self):
+        def closure_factory(seed):
+            from repro.workloads.microbenchmark import LockingMicrobenchmark
+
+            return LockingMicrobenchmark(num_locks=16, acquires_per_processor=8)
+
+        spec = PointSpec(
+            scale=TINY,
+            protocol=ProtocolName.SNOOPING,
+            bandwidth=800.0,
+            workload=closure_factory,
+        )
+        assert not spec.is_portable()
+        (point,) = run_sweep([spec], workers=4)
+        assert point.performance > 0
+
+    def test_workers_auto_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        assert available_workers() == 3
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "garbage")
+        assert available_workers() >= 1
+
+    def test_sweep_curves_groups_in_input_order(self):
+        specs = _specs()
+        points = run_sweep(specs, workers=1)
+        curves = sweep_curves(specs, points, PROTOCOLS)
+        for protocol in PROTOCOLS:
+            assert [p.x for p in curves[protocol]] == list(TINY.bandwidth_points)
+            assert all(p.protocol is protocol for p in curves[protocol])

@@ -17,11 +17,12 @@ from repro.workloads.microbenchmark import LockingMicrobenchmark
 from repro.system.multiprocessor import MultiprocessorSystem
 from repro.workloads.trace import TraceWorkload
 
-from ..conftest import build_trace_system, small_config
+# The shared helpers arrive via the ``build_trace_system`` and
+# ``small_config`` fixtures defined in the top-level tests/conftest.py.
 
 
 class TestRacingWriters:
-    def test_simultaneous_writers_serialise(self, protocol):
+    def test_simultaneous_writers_serialise(self, protocol, build_trace_system):
         # Every processor stores to the same block at the same time.
         ops = {
             node: [MemoryOperation(address=192, is_write=True)] for node in range(4)
@@ -36,7 +37,7 @@ class TestRacingWriters:
         assert len(owners) == 1
         check_invariants(system).raise_on_violation()
 
-    def test_simultaneous_readers_after_writer(self, protocol):
+    def test_simultaneous_readers_after_writer(self, protocol, build_trace_system):
         ops = {0: [MemoryOperation(address=64, is_write=True)]}
         ops.update(
             {
@@ -54,7 +55,7 @@ class TestRacingWriters:
         assert len(tokens) == 1
         check_invariants(system).raise_on_violation()
 
-    def test_interleaved_read_write_chains(self, protocol):
+    def test_interleaved_read_write_chains(self, protocol, build_trace_system):
         ops = {
             0: [MemoryOperation(address=128, is_write=True),
                 MemoryOperation(address=128, is_write=False, think_cycles=900)],
@@ -69,7 +70,7 @@ class TestRacingWriters:
 
 class TestFalseSharingStress:
     @pytest.mark.parametrize("bandwidth", [400.0, 3200.0])
-    def test_contended_microbenchmark_stays_coherent(self, protocol, bandwidth):
+    def test_contended_microbenchmark_stays_coherent(self, protocol, bandwidth, small_config):
         config = small_config(protocol, num_processors=6, bandwidth=bandwidth)
         workload = LockingMicrobenchmark(num_locks=4, acquires_per_processor=25)
         system = MultiprocessorSystem(config, workload)
@@ -86,7 +87,7 @@ class TestFalseSharingStress:
 
 
 class TestBashWindowOfVulnerability:
-    def test_unicast_racing_with_broadcasts(self):
+    def test_unicast_racing_with_broadcasts(self, build_trace_system):
         # P1 unicasts a GETM for a block owned by P0 while P2 and P3 broadcast
         # their own GETMs for the same block: the retry of P1's request lands
         # in the window after the broadcasts changed the owner, forcing the
@@ -109,7 +110,7 @@ class TestBashWindowOfVulnerability:
         assert len(owners) == 1
         check_invariants(system).raise_on_violation()
 
-    def test_writeback_racing_with_unicast_request(self):
+    def test_writeback_racing_with_unicast_request(self, build_trace_system):
         ops = {
             0: [MemoryOperation(address=192, is_write=True)],
             1: [MemoryOperation(address=192, is_write=True, think_cycles=1500)],

@@ -1,0 +1,73 @@
+"""Golden-trace determinism of the event core.
+
+``tests/data/golden_traces.json`` holds the exact ``(time, label)`` sequence
+of every fired event for one small fixed-seed run per protocol, captured on
+the original (pre-optimisation) ``@dataclass``/heapq event core.  The
+rebuilt ``__slots__``/tuple-heap core must reproduce those sequences bit for
+bit: any change in event ordering, tie-breaking, label formatting or
+scheduling structure shows up here as a diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.common.config import AdaptiveConfig, ProtocolName, SystemConfig
+from repro.system.multiprocessor import MultiprocessorSystem
+from repro.workloads.microbenchmark import LockingMicrobenchmark
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "data" / "golden_traces.json"
+
+
+def _load_golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _replay(name: str, cfg: dict):
+    config = SystemConfig(
+        num_processors=cfg["num_processors"],
+        protocol=ProtocolName(name),
+        bandwidth_mb_per_second=cfg["bandwidth_mb_per_second"],
+        adaptive=AdaptiveConfig(
+            sampling_interval=cfg["sampling_interval"],
+            policy_counter_bits=cfg["policy_counter_bits"],
+        ),
+        random_seed=cfg["random_seed"],
+    )
+    workload = LockingMicrobenchmark(
+        num_locks=cfg["num_locks"],
+        acquires_per_processor=cfg["acquires_per_processor"],
+        think_cycles=0,
+    )
+    system = MultiprocessorSystem(config, workload)
+    trace = []
+    system.simulator.scheduler.on_fire = lambda time, label: trace.append(
+        [time, label]
+    )
+    system.run()
+    return system, trace
+
+
+@pytest.mark.parametrize("name", ["snooping", "directory", "bash"])
+def test_fired_event_sequence_matches_golden_trace(name):
+    golden = _load_golden()[name]
+    system, trace = _replay(name, golden["config"])
+    assert len(trace) == golden["fired"], (
+        f"{name}: fired {len(trace)} events, golden trace has {golden['fired']}"
+    )
+    assert system.simulator.now == golden["final_time"]
+    for index, (got, want) in enumerate(zip(trace, golden["events"])):
+        assert got == want, (
+            f"{name}: event #{index} diverged: got {got}, expected {want}"
+        )
+
+
+def test_replay_is_self_deterministic():
+    """Two runs of the same seed produce the same trace (no hidden state)."""
+    golden = _load_golden()["bash"]
+    _, first = _replay("bash", golden["config"])
+    _, second = _replay("bash", golden["config"])
+    assert first == second

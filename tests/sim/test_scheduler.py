@@ -50,6 +50,117 @@ class TestScheduler:
         scheduler.run()
         assert fired == []
 
+    def test_pending_excludes_cancelled_events(self):
+        scheduler = Scheduler()
+        events = [scheduler.schedule_at(10 + i, lambda: None) for i in range(4)]
+        assert scheduler.pending == 4
+        events[0].cancel()
+        events[2].cancel()
+        assert scheduler.pending == 2
+        # Cancelling twice must not double-count.
+        events[0].cancel()
+        assert scheduler.pending == 2
+        scheduler.run()
+        assert scheduler.pending == 0
+        assert scheduler.fired == 2
+
+    def test_cancel_after_fire_does_not_corrupt_pending(self):
+        scheduler = Scheduler()
+        event = scheduler.schedule_at(5, lambda: None)
+        scheduler.schedule_at(10, lambda: None)
+        scheduler.run(until=7)
+        event.cancel()  # already fired; must be a no-op
+        assert scheduler.pending == 1
+        scheduler.run()
+        assert scheduler.pending == 0
+
+    def test_drain_resets_cancellation_accounting(self):
+        scheduler = Scheduler()
+        events = [scheduler.schedule_at(10 + i, lambda: None) for i in range(3)]
+        events[1].cancel()
+        scheduler.drain()
+        assert scheduler.pending == 0
+        # Cancelling an event that was drained must not go negative.
+        events[2].cancel()
+        assert scheduler.pending == 0
+        scheduler.schedule_at(50, lambda: None)
+        assert scheduler.pending == 1
+
+    def test_run_until_with_cancelled_head(self):
+        # A cancelled event at the head of the queue must neither stop the
+        # clock early nor let a later event leak past ``until``.
+        scheduler = Scheduler()
+        fired = []
+        stale = scheduler.schedule_at(10, lambda: fired.append("stale"))
+        scheduler.schedule_at(20, lambda: fired.append("live"))
+        scheduler.schedule_at(90, lambda: fired.append("late"))
+        stale.cancel()
+        scheduler.run(until=50)
+        assert fired == ["live"]
+        assert scheduler.now == 50
+        assert scheduler.pending == 1
+
+    def test_run_until_cancelled_head_beyond_until(self):
+        scheduler = Scheduler()
+        fired = []
+        stale = scheduler.schedule_at(80, lambda: fired.append("stale"))
+        scheduler.schedule_at(90, lambda: fired.append("late"))
+        stale.cancel()
+        scheduler.run(until=50)
+        assert fired == []
+        assert scheduler.now == 50
+        assert scheduler.pending == 1
+
+    def test_mass_cancellation_triggers_compaction(self):
+        scheduler = Scheduler()
+        events = [scheduler.schedule_at(100 + i, lambda: None) for i in range(300)]
+        survivors = events[::10]
+        for index, event in enumerate(events):
+            if index % 10:
+                event.cancel()
+        assert scheduler.pending == len(survivors)
+        # Compaction must have physically removed most cancelled entries.
+        assert len(scheduler._queue) < len(events)
+        assert scheduler.run() == len(survivors)
+
+    def test_compaction_from_inside_a_callback_is_safe(self):
+        # A fired callback that mass-cancels (triggering compaction) must not
+        # desynchronise the running loop from the queue: events scheduled
+        # after the compaction still fire, nothing fires twice, and the
+        # accounting stays exact.
+        scheduler = Scheduler()
+        fired = []
+        victims = []
+
+        def cancel_everything():
+            for victim in victims:
+                victim.cancel()
+            scheduler.schedule_at(500, lambda: fired.append("after-compaction"))
+
+        scheduler.schedule_at(1, cancel_everything)
+        victims.extend(
+            scheduler.schedule_at(100 + i, lambda i=i: fired.append(i))
+            for i in range(200)
+        )
+        scheduler.schedule_at(400, lambda: fired.append("survivor"))
+        scheduler.run()
+        assert fired == ["survivor", "after-compaction"]
+        assert scheduler.pending == 0
+        assert scheduler.fired == 3
+        scheduler.run()
+        assert fired == ["survivor", "after-compaction"]
+
+    def test_fast_path_interleaves_with_cancellable_events(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule_at_fast(10, lambda: fired.append("fast10"))
+        scheduler.schedule_at(5, lambda: fired.append("event5"))
+        scheduler.schedule_at_fast1(7, fired.append, "fast1-7")
+        victim = scheduler.schedule_at(6, lambda: fired.append("cancelled"))
+        victim.cancel()
+        scheduler.run()
+        assert fired == ["event5", "fast1-7", "fast10"]
+
     def test_run_until_bound(self):
         scheduler = Scheduler()
         fired = []

@@ -117,6 +117,20 @@ def run_benchmark() -> Dict:
     }
 
 
+def run_smoke(num_processors: int = 8) -> Dict:
+    """A seconds-scale measurement for CI: one repeat, no sweep, no file write.
+
+    Exists so pull requests exercise the full event core end to end and
+    surface order-of-magnitude perf regressions without the noise-sensitive
+    full benchmark.
+    """
+    throughput = measure_event_throughput(num_processors=num_processors, repeats=1)
+    for name, result in throughput["per_protocol"].items():
+        if result["fired_events"] <= 0 or result["events_per_sec"] <= 0:
+            raise SystemExit(f"smoke benchmark fired no events for {name}")
+    return {"python": platform.python_version(), "event_throughput": throughput}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -125,9 +139,18 @@ def main(argv=None) -> int:
         help="record this measurement as the baseline instead of 'current'",
     )
     parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick CI mode: reduced measurement, prints JSON, writes nothing",
+    )
+    parser.add_argument(
         "--output", type=Path, default=RESULT_PATH, help="result JSON path"
     )
     args = parser.parse_args(argv)
+
+    if args.smoke:
+        print(json.dumps(run_smoke(), indent=2))
+        return 0
 
     record: Dict = {}
     if args.output.exists():

@@ -11,10 +11,59 @@ Directory (and for a BASH unicast that needs one retry).
 
 from __future__ import annotations
 
+from repro.common.config import ProtocolName, SystemConfig
 from repro.experiments import figure4_transaction_walkthrough
+from repro.interconnect.message import MessageType
+from repro.system.multiprocessor import MultiprocessorSystem
+from repro.workloads.trace import TraceWorkload
+
+
+def show_dispatch_tables() -> None:
+    """Introspect each protocol's compiled message-dispatch tables.
+
+    Every controller declares ``(message type -> handler)`` tables that are
+    compiled to bound methods at construction; the networks index them
+    directly (see ``repro.protocols.dispatch``).  Printing them is the
+    quickest way to see how the three protocols divide the message space —
+    any type missing from a row is *explicitly rejected* by that controller.
+    """
+    print("Compiled dispatch tables (message type -> handler method)\n")
+    for protocol in (ProtocolName.SNOOPING, ProtocolName.DIRECTORY, ProtocolName.BASH):
+        config = SystemConfig(num_processors=4, protocol=protocol)
+        system = MultiprocessorSystem(config, TraceWorkload({n: [] for n in range(4)}))
+        node = system.nodes[0]
+        print(f"  {protocol}:")
+        for controller, tables in (
+            (node.cache_controller, ("ordered_handlers", "unordered_handlers")),
+            (node.memory_controller, ("ordered_handlers", "unordered_handlers")),
+        ):
+            for table_name in tables:
+                table = getattr(controller, table_name)
+                network = table_name.split("_")[0]
+                if not table:
+                    print(f"    {controller.name:<9} {network:<9} (consumes nothing)")
+                    continue
+                entries = ", ".join(
+                    f"{msg_type}->{handler.__name__}"
+                    for msg_type, handler in sorted(
+                        table.items(), key=lambda item: item[0].value
+                    )
+                )
+                print(f"    {controller.name:<9} {network:<9} {entries}")
+        rejected = [
+            str(t) for t in MessageType
+            if t not in node.cache_controller.ordered_handlers
+            and t not in node.cache_controller.unordered_handlers
+            and t not in node.memory_controller.ordered_handlers
+            and t not in node.memory_controller.unordered_handlers
+        ]
+        if rejected:
+            print(f"    rejected everywhere: {', '.join(sorted(rejected))}")
+        print()
 
 
 def main() -> None:
+    show_dispatch_tables()
     print("Figure 4: transaction walk-throughs (4 processors, uncontended)\n")
     walkthrough = figure4_transaction_walkthrough()
     print(f"{'scenario':<34} {'latency (ns)':>13} {'ordered msgs':>13} {'unordered msgs':>15}")

@@ -31,6 +31,11 @@ class Transaction:
       invalidated by a later-ordered store.
     * ``retries_observed`` / ``nacked`` track the BASH retry and deadlock-nack
       paths.
+
+    One instance is allocated per cache miss, so the two bookkeeping lists
+    start empty-by-default as shared immutable sentinels and are only
+    materialised through :meth:`defer` / :meth:`note_invalidate` — most
+    transactions never populate either.
     """
 
     address: int
@@ -42,19 +47,41 @@ class Transaction:
     was_broadcast: bool = True
     completion_callback: Optional[CompletionCallback] = None
 
-    transaction_id: int = field(default_factory=lambda: next(_transaction_ids))
+    transaction_id: int = field(default_factory=_transaction_ids.__next__)
     marker_seen: bool = False
     effective_order_seq: Optional[int] = None
     data_received: bool = False
     received_token: int = 0
     completed: bool = False
     completion_time: Optional[int] = None
-    deferred: List[Message] = field(default_factory=list)
-    invalidate_seqs: List[int] = field(default_factory=list)
+    deferred: List[Message] = field(default=())  # type: ignore[assignment]
+    invalidate_seqs: List[int] = field(default=())  # type: ignore[assignment]
     ownership_passed: bool = False
     retries_observed: int = 0
     nacked: bool = False
     reissued_as_broadcast: bool = False
+    #: Issuer-private payload (the sequencer stores the pending memory
+    #: operation here so its completion callback needs no per-miss closure).
+    context: Optional[object] = None
+
+    def defer(self, message: Message) -> None:
+        """Queue a later-ordered request to serve once our data arrives."""
+        if type(self.deferred) is tuple:
+            self.deferred = [message]
+        else:
+            self.deferred.append(message)
+
+    def clear_deferred(self) -> None:
+        """Drop any queued deferred requests."""
+        if type(self.deferred) is not tuple:
+            self.deferred.clear()
+
+    def note_invalidate(self, order_seq: int) -> None:
+        """Record a GETM ordered while this transaction was in flight."""
+        if type(self.invalidate_seqs) is tuple:
+            self.invalidate_seqs = [order_seq]
+        else:
+            self.invalidate_seqs.append(order_seq)
 
     @property
     def is_write(self) -> bool:

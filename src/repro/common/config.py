@@ -76,6 +76,12 @@ class AdaptiveConfig:
     lfsr_seed: int = 0xACE1
     max_retries_before_broadcast: int = constants.BASH_MAX_RETRIES_BEFORE_BROADCAST
     retry_buffer_size: int = 16
+    #: Ring-buffer capacity of each mechanism's sample history.  PAPER-scale
+    #: runs take millions of samples per node; only the most recent
+    #: ``history_capacity`` are kept unless ``record_full_history`` opts into
+    #: unbounded recording (plots and tests that replay whole traces).
+    history_capacity: int = 512
+    record_full_history: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 < self.utilization_threshold < 1.0:
@@ -99,6 +105,10 @@ class AdaptiveConfig:
         if self.retry_buffer_size < 1:
             raise ConfigurationError(
                 f"retry_buffer_size must be at least 1, got {self.retry_buffer_size}"
+            )
+        if self.history_capacity < 1:
+            raise ConfigurationError(
+                f"history_capacity must be at least 1, got {self.history_capacity}"
             )
 
     def counter_increments(self) -> Tuple[int, int]:

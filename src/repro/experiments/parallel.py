@@ -44,6 +44,12 @@ CACHE_VERSION = 1
 #: Environment variable consulted when ``workers`` is not given explicitly.
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 
+#: Environment variable consulted when ``cache_dir`` is not given explicitly:
+#: point it at a directory and every sweep (including the PAPER-scale figure
+#: drivers) memoises its points there, so an interrupted reproduction resumes
+#: from the completed points instead of recomputing them.
+CACHE_ENV = "REPRO_SWEEP_CACHE"
+
 
 def available_workers() -> int:
     """Worker count to use by default: $REPRO_SWEEP_WORKERS or the CPU count."""
@@ -54,6 +60,12 @@ def available_workers() -> int:
         except ValueError:
             pass
     return os.cpu_count() or 1
+
+
+def default_cache_dir() -> Optional[str]:
+    """Cache directory to use by default: $REPRO_SWEEP_CACHE, or None."""
+    env = os.environ.get(CACHE_ENV)
+    return env if env else None
 
 
 @dataclass(frozen=True)
@@ -184,12 +196,16 @@ def run_sweep(
     ``workers`` > 1 fans the uncached points across a process pool; ``None``
     or 1 runs serially (``0`` means "auto": $REPRO_SWEEP_WORKERS or the CPU
     count).  ``cache_dir`` enables the on-disk result cache, so repeated
-    figure runs skip completed points.
+    figure runs skip completed points; when it is not given, the
+    $REPRO_SWEEP_CACHE environment variable supplies the default, so
+    interrupted PAPER-scale sweeps resume automatically.
     """
     if workers == 0:
         workers = available_workers()
     workers = 1 if workers is None else max(1, workers)
 
+    if cache_dir is None:
+        cache_dir = default_cache_dir()
     cache = SweepCache(Path(cache_dir)) if cache_dir is not None else None
     results: List[Optional[SweepPoint]] = [None] * len(specs)
     pending: List[int] = []

@@ -50,11 +50,14 @@ class Interconnect:
             config.latency.network_traversal,
             stats,
         )
+        # The broadcast destination set is requested once per broadcast
+        # request, so build it once rather than per call.
+        self._all_nodes: FrozenSet[int] = frozenset(range(self.num_nodes))
 
     @property
     def all_nodes(self) -> FrozenSet[int]:
         """The full set of node identifiers (a broadcast destination)."""
-        return frozenset(range(self.num_nodes))
+        return self._all_nodes
 
     def register_node(
         self,
@@ -67,6 +70,19 @@ class Interconnect:
             raise NetworkError(f"node {node_id} is outside this interconnect")
         self.ordered.register(node_id, ordered_handler)
         self.unordered.register(node_id, unordered_handler)
+
+    def attach_node(self, node_id: int, dispatcher: object) -> None:
+        """Attach a node's compiled dispatch tables to both virtual networks.
+
+        ``dispatcher`` is typically a :class:`repro.system.node.Node`; the
+        networks index its ``ordered_entry``/``unordered_entry`` tables
+        directly, so delivery events fire the protocol handlers with no
+        node-level dispatch frame.
+        """
+        if node_id not in self.links:
+            raise NetworkError(f"node {node_id} is outside this interconnect")
+        self.ordered.register_dispatcher(node_id, dispatcher)
+        self.unordered.register_dispatcher(node_id, dispatcher)
 
     def send_ordered(self, message: Message, recipients: Iterable[int]) -> None:
         """Send a request on the totally ordered network."""

@@ -13,13 +13,24 @@ with a single logical ordering point.  A message
 Because every recipient's incoming link is FIFO and arrivals are scheduled in
 global order, every node observes the same total order of requests — the
 property the protocols depend on to avoid explicit acknowledgements.
+
+Delivery is table-driven: a node registered through :meth:`register_dispatcher`
+exposes compiled per-message-type entries (see :class:`repro.system.node.Node`)
+that the network schedules *directly* — the fired delivery event runs the
+protocol handler with no node-level dispatch frame.  Plain callables
+(:meth:`register`) remain supported for tests and tools.  This module sits on
+the simulator's hottest path, so the per-hop pipeline is compiled once per
+``(message type, node)`` into closures that share the scheduler's fast-path
+heap representation (``(time, sequence, callback, label, arg)`` — see
+:meth:`repro.sim.scheduler.Scheduler.schedule_at_fast1`, whose bounds check is
+unnecessary here because link transmit times never precede ``now``).
 """
 
 from __future__ import annotations
 
-from functools import partial
+from heapq import heappush as _heappush
 
-from typing import Callable, Dict, FrozenSet, Tuple
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
 from ..common.stats import StatsRegistry
 from ..errors import NetworkError
@@ -52,24 +63,28 @@ class TotallyOrderedNetwork:
         self.stats = stats
         self.broadcast_cost_factor = broadcast_cost_factor
         self._handlers: Dict[int, OrderedHandler] = {}
+        self._dispatchers: Dict[int, object] = {}
         self._order_sequence = 0
-        # Hot-path caches: stat handles hoisted out of the per-message path and
-        # memoised label strings (there are only O(types x nodes) distinct
-        # labels, but an f-string per event costs more than the heap push).
+        self._node_ids: FrozenSet[int] = frozenset(links)
+        # Hot-path caches: stat handles hoisted out of the per-message path,
+        # memoised inject labels, and per-(type, node) compiled arrival
+        # closures (each carries its labels, incoming link and resolved
+        # delivery entry, so the broadcast fan-out allocates nothing per
+        # recipient and the delivery event fires the protocol handler
+        # directly).
         self._messages_counter = stats.counter("network.ordered.messages")
         self._broadcasts_counter = stats.counter("network.ordered.broadcasts")
         self._multicasts_counter = stats.counter("network.ordered.multicasts")
+        self._out_transmit: Dict[int, Callable] = {}
+        self._enter_switch_callback = self._enter_switch
         self._inject_labels: Dict[MessageType, str] = {}
-        # (msg_type, node) -> (arrive label, arrive callable prebound to the
-        # node) so the broadcast fan-out allocates nothing per recipient.
-        self._arrive_labels: Dict[Tuple[MessageType, int], Tuple[str, Callable]] = {}
-        self._deliver_labels: Dict[Tuple[MessageType, int], str] = {}
+        self._arrive_entries: Dict[
+            Tuple[MessageType, int], Tuple[str, Callable[[Message], None]]
+        ] = {}
         # Recipient sets recur (all-nodes broadcasts, {home, requester}
         # dualcasts), and frozensets cache their hash, so memoising the sorted
         # order avoids a sort per fan-out.
         self._sorted_recipients: Dict[FrozenSet[int], Tuple[int, ...]] = {}
-        # Per-node (incoming link, handler) pairs resolved once.
-        self._arrive_cache: Dict[int, Tuple] = {}
 
     @property
     def next_order_sequence(self) -> int:
@@ -77,30 +92,49 @@ class TotallyOrderedNetwork:
         return self._order_sequence
 
     def register(self, node_id: int, handler: OrderedHandler) -> None:
-        """Register the delivery handler for ``node_id``."""
+        """Register a plain delivery callable for ``node_id``."""
         if node_id not in self.links:
             raise NetworkError(f"node {node_id} has no endpoint link")
         self._handlers[node_id] = handler
-        self._arrive_cache.pop(node_id, None)
+        self._dispatchers.pop(node_id, None)
+        self._arrive_entries.clear()
+
+    def register_dispatcher(self, node_id: int, dispatcher: object) -> None:
+        """Register a node whose compiled dispatch entries are indexed directly.
+
+        ``dispatcher`` must provide ``ordered_entry(msg_type) -> callable``
+        (:class:`repro.system.node.Node` does).
+        """
+        if node_id not in self.links:
+            raise NetworkError(f"node {node_id} has no endpoint link")
+        self._dispatchers[node_id] = dispatcher
+        self._handlers.pop(node_id, None)
+        self._arrive_entries.clear()
+        # Let the dispatcher invalidate our compiled copies of its entries
+        # (Node.invalidate_dispatch_cache calls these after table swaps).
+        invalidators = getattr(dispatcher, "dispatch_cache_invalidators", None)
+        if invalidators is not None:
+            invalidators.append(self._arrive_entries.clear)
 
     def send(self, message: Message, recipients: FrozenSet[int]) -> None:
         """Inject ``message`` destined for ``recipients`` (which may be all nodes)."""
         if not recipients:
             raise NetworkError("ordered send requires at least one recipient")
-        unknown = recipients - set(self.links)
-        if unknown:
-            raise NetworkError(f"unknown recipients {sorted(unknown)}")
+        node_ids = self._node_ids
+        if not recipients <= node_ids:
+            raise NetworkError(f"unknown recipients {sorted(recipients - node_ids)}")
         message.recipients = frozenset(recipients)
-        message.is_broadcast = len(recipients) == len(self.links)
-        cost_factor = (
-            self.broadcast_cost_factor if message.is_broadcast else 1.0
-        )
-        out_link = self.links[message.src].outgoing
-        injection_time = out_link.transmit(
-            self.scheduler.now, message.size_bytes, cost_factor
-        )
+        is_broadcast = message.is_broadcast = len(recipients) == len(node_ids)
+        cost_factor = self.broadcast_cost_factor if is_broadcast else 1.0
+        transmit = self._out_transmit.get(message.src)
+        if transmit is None:
+            transmit = self._out_transmit[message.src] = self.links[
+                message.src
+            ].outgoing.transmit
+        scheduler = self.scheduler
+        injection_time = transmit(scheduler.now, message.size_bytes, cost_factor)
         self._messages_counter._count += 1
-        if message.is_broadcast:
+        if is_broadcast:
             self._broadcasts_counter._count += 1
         else:
             self._multicasts_counter._count += 1
@@ -109,48 +143,81 @@ class TotallyOrderedNetwork:
         if label is None:
             label = f"ordered-inject:{msg_type}"
             self._inject_labels[msg_type] = label
-        self.scheduler.schedule_at_fast1(
-            injection_time, self._enter_switch, message, label=label
+        sequence = scheduler._sequence
+        scheduler._sequence = sequence + 1
+        _heappush(
+            scheduler._queue,
+            (injection_time, sequence, self._enter_switch_callback, label, message),
         )
 
     def _enter_switch(self, message: Message) -> None:
         """Assign the total-order sequence number and fan the message out."""
         message.order_seq = self._order_sequence
         self._order_sequence += 1
-        exit_time = self.scheduler.now + self.traversal_cycles
+        scheduler = self.scheduler
+        queue = scheduler._queue
+        exit_time = scheduler.now + self.traversal_cycles
         msg_type = message.msg_type
-        labels = self._arrive_labels
-        schedule_at1 = self.scheduler.schedule_at_fast1
+        entries = self._arrive_entries
         recipients = message.recipients
         order = self._sorted_recipients.get(recipients)
         if order is None:
             order = tuple(sorted(recipients))
             self._sorted_recipients[recipients] = order
         for node_id in order:
-            cached = labels.get((msg_type, node_id))
-            if cached is None:
-                cached = (
-                    f"ordered-arrive:{msg_type}:n{node_id}",
-                    partial(self._arrive, node_id),
-                )
-                labels[(msg_type, node_id)] = cached
-            schedule_at1(exit_time, cached[1], message, label=cached[0])
+            entry = entries.get((msg_type, node_id))
+            if entry is None:
+                entry = self._compile_arrival(msg_type, node_id)
+            sequence = scheduler._sequence
+            scheduler._sequence = sequence + 1
+            _heappush(queue, (exit_time, sequence, entry[1], entry[0], message))
 
-    def _arrive(self, node_id: int, message: Message) -> None:
-        """Queue the message on the recipient's incoming link, then deliver."""
-        entry = self._arrive_cache.get(node_id)
-        if entry is None:
-            handler = self._handlers.get(node_id)
-            if handler is None:
-                raise NetworkError(f"no ordered handler registered for node {node_id}")
-            entry = (self.links[node_id].incoming, handler)
-            self._arrive_cache[node_id] = entry
-        in_link, handler = entry
-        cost_factor = self.broadcast_cost_factor if message.is_broadcast else 1.0
-        done = in_link.transmit(self.scheduler.now, message.size_bytes, cost_factor)
-        msg_type = message.msg_type
-        label = self._deliver_labels.get((msg_type, node_id))
-        if label is None:
-            label = f"ordered-deliver:{msg_type}:n{node_id}"
-            self._deliver_labels[(msg_type, node_id)] = label
-        self.scheduler.schedule_at_fast1(done, handler, message, label=label)
+    def _compile_arrival(
+        self, msg_type: MessageType, node_id: int
+    ) -> Tuple[str, Callable[[Message], None]]:
+        """Build the arrival closure for one ``(message type, node)`` pair.
+
+        The closure queues the message on the recipient's incoming link and
+        schedules the resolved delivery entry; a node with neither dispatcher
+        nor handler registered compiles to an arrival that fails loudly when
+        it fires (matching the pre-compiled implementation's timing).
+        """
+        deliver = self._resolve_delivery(msg_type, node_id)
+        arrive_label = f"ordered-arrive:{msg_type}:n{node_id}"
+        deliver_label = f"ordered-deliver:{msg_type}:n{node_id}"
+        in_link = self.links[node_id].incoming
+        scheduler = self.scheduler
+        queue = scheduler._queue
+        transmit = in_link.transmit
+        broadcast_cost = self.broadcast_cost_factor
+
+        if deliver is None:
+
+            def arrive(message: Message) -> None:
+                raise NetworkError(
+                    f"no ordered handler registered for node {node_id}"
+                )
+
+        else:
+
+            def arrive(message: Message) -> None:
+                done = transmit(
+                    scheduler.now,
+                    message.size_bytes,
+                    broadcast_cost if message.is_broadcast else 1.0,
+                )
+                sequence = scheduler._sequence
+                scheduler._sequence = sequence + 1
+                _heappush(queue, (done, sequence, deliver, deliver_label, message))
+
+        entry = (arrive_label, arrive)
+        self._arrive_entries[(msg_type, node_id)] = entry
+        return entry
+
+    def _resolve_delivery(
+        self, msg_type: MessageType, node_id: int
+    ) -> Optional[Callable[[Message], None]]:
+        dispatcher = self._dispatchers.get(node_id)
+        if dispatcher is not None:
+            return dispatcher.ordered_entry(msg_type)
+        return self._handlers.get(node_id)

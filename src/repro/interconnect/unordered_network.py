@@ -4,17 +4,28 @@ Data responses (and, in the Directory protocol, the unicast requests sent to
 the home node) travel on this network.  It shares the endpoint links with the
 ordered network — the paper models one link per node — but imposes no ordering
 beyond the FIFO behaviour of each individual link.
+
+Like the ordered network, delivery is table-driven: nodes registered through
+:meth:`register_dispatcher` expose compiled per-``(destination unit, message
+type)`` entries that the network schedules directly, so the fired delivery
+event is the protocol handler itself.  The per-hop pipeline is compiled once
+per message type (injection) and once per ``(type, destination, unit)``
+(delivery) and pushes the scheduler's fast-path heap entries inline (transmit
+times never precede ``now``, so the bounds check in ``schedule_at_fast1`` is
+unnecessary here).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from heapq import heappush as _heappush
+
+from typing import Callable, Dict, Optional, Tuple
 
 from ..common.stats import StatsRegistry
 from ..errors import NetworkError
 from ..sim.scheduler import Scheduler
 from .link import LinkPair
-from .message import Message, MessageType
+from .message import DestinationUnit, Message, MessageType
 
 #: Signature of a node's handler for unordered (point-to-point) deliveries.
 UnorderedHandler = Callable[[Message], None]
@@ -39,60 +50,128 @@ class UnorderedNetwork:
         self.traversal_cycles = traversal_cycles
         self.stats = stats
         self._handlers: Dict[int, UnorderedHandler] = {}
-        # Hot-path caches mirroring the ordered network's (see there).
+        self._dispatchers: Dict[int, object] = {}
+        # Hot-path caches mirroring the ordered network's (see there): the
+        # injection entry per message type carries the inject label and a
+        # traverse closure; the delivery entry per (type, dest, unit) carries
+        # the deliver label, the destination's incoming link and the resolved
+        # handler.
         self._messages_counter = stats.counter("network.unordered.messages")
-        self._inject_labels: Dict[MessageType, str] = {}
-        self._arrive_labels: Dict[MessageType, str] = {}
-        self._deliver_labels: Dict[Tuple[MessageType, int], str] = {}
+        self._out_transmit: Dict[int, Callable] = {}
+        self._inject_entries: Dict[
+            MessageType, Tuple[str, Callable[[Message], None]]
+        ] = {}
+        self._deliver_entries: Dict[
+            Tuple[MessageType, int, DestinationUnit],
+            Tuple[str, Callable[[Message], None], Callable],
+        ] = {}
 
     def register(self, node_id: int, handler: UnorderedHandler) -> None:
-        """Register the delivery handler for ``node_id``."""
+        """Register a plain delivery callable for ``node_id``."""
         if node_id not in self.links:
             raise NetworkError(f"node {node_id} has no endpoint link")
         self._handlers[node_id] = handler
+        self._dispatchers.pop(node_id, None)
+        self._deliver_entries.clear()
+
+    def register_dispatcher(self, node_id: int, dispatcher: object) -> None:
+        """Register a node whose compiled dispatch entries are indexed directly.
+
+        ``dispatcher`` must provide ``unordered_entry(dest_unit, msg_type) ->
+        callable`` (:class:`repro.system.node.Node` does).
+        """
+        if node_id not in self.links:
+            raise NetworkError(f"node {node_id} has no endpoint link")
+        self._dispatchers[node_id] = dispatcher
+        self._handlers.pop(node_id, None)
+        self._deliver_entries.clear()
+        # Let the dispatcher invalidate our compiled copies of its entries
+        # (Node.invalidate_dispatch_cache calls these after table swaps).
+        invalidators = getattr(dispatcher, "dispatch_cache_invalidators", None)
+        if invalidators is not None:
+            invalidators.append(self._deliver_entries.clear)
 
     def send(self, message: Message) -> None:
         """Send ``message`` from ``message.src`` to ``message.dest``."""
-        if message.dest is None:
-            raise NetworkError("unordered send requires a destination")
-        if message.dest not in self.links:
-            raise NetworkError(f"unknown destination node {message.dest}")
-        if message.src not in self.links:
-            raise NetworkError(f"unknown source node {message.src}")
-        out_link = self.links[message.src].outgoing
-        injection_time = out_link.transmit(self.scheduler.now, message.size_bytes)
+        dest = message.dest
+        links = self.links
+        if dest not in links:
+            if dest is None:
+                raise NetworkError("unordered send requires a destination")
+            raise NetworkError(f"unknown destination node {dest}")
+        transmit = self._out_transmit.get(message.src)
+        if transmit is None:
+            src_pair = links.get(message.src)
+            if src_pair is None:
+                raise NetworkError(f"unknown source node {message.src}")
+            transmit = self._out_transmit[message.src] = src_pair.outgoing.transmit
+        scheduler = self.scheduler
+        injection_time = transmit(scheduler.now, message.size_bytes)
         self._messages_counter._count += 1
-        msg_type = message.msg_type
-        label = self._inject_labels.get(msg_type)
-        if label is None:
-            label = f"unordered-inject:{msg_type}"
-            self._inject_labels[msg_type] = label
-        self.scheduler.schedule_at_fast1(
-            injection_time, self._traverse, message, label=label
+        entry = self._inject_entries.get(message.msg_type)
+        if entry is None:
+            entry = self._compile_injection(message.msg_type)
+        sequence = scheduler._sequence
+        scheduler._sequence = sequence + 1
+        _heappush(
+            scheduler._queue, (injection_time, sequence, entry[1], entry[0], message)
         )
 
-    def _traverse(self, message: Message) -> None:
-        """Cross the switch fabric and queue on the destination's link."""
-        arrival_time = self.scheduler.now + self.traversal_cycles
-        msg_type = message.msg_type
-        label = self._arrive_labels.get(msg_type)
-        if label is None:
-            label = f"unordered-arrive:{msg_type}"
-            self._arrive_labels[msg_type] = label
-        self.scheduler.schedule_at_fast1(
-            arrival_time, self._arrive, message, label=label
-        )
+    def _compile_injection(
+        self, msg_type: MessageType
+    ) -> Tuple[str, Callable[[Message], None]]:
+        """Build the per-type (inject label, traverse closure) pair."""
+        inject_label = f"unordered-inject:{msg_type}"
+        arrive_label = f"unordered-arrive:{msg_type}"
+        scheduler = self.scheduler
+        queue = scheduler._queue
+        traversal = self.traversal_cycles
+        arrive = self._arrive
+
+        def traverse(message: Message) -> None:
+            """Cross the switch fabric and head for the destination's link."""
+            sequence = scheduler._sequence
+            scheduler._sequence = sequence + 1
+            _heappush(
+                queue,
+                (scheduler.now + traversal, sequence, arrive, arrive_label, message),
+            )
+
+        entry = (inject_label, traverse)
+        self._inject_entries[msg_type] = entry
+        return entry
 
     def _arrive(self, message: Message) -> None:
         """Occupy the destination's incoming link, then deliver."""
-        in_link = self.links[message.dest].incoming
-        done = in_link.transmit(self.scheduler.now, message.size_bytes)
-        handler = self._handlers.get(message.dest)
-        if handler is None:
-            raise NetworkError(f"no unordered handler registered for node {message.dest}")
-        key = (message.msg_type, message.dest)
-        label = self._deliver_labels.get(key)
-        if label is None:
-            label = f"unordered-deliver:{key[0]}:n{key[1]}"
-            self._deliver_labels[key] = label
-        self.scheduler.schedule_at_fast1(done, handler, message, label=label)
+        entry = self._deliver_entries.get(
+            (message.msg_type, message.dest, message.dest_unit)
+        )
+        if entry is None:
+            entry = self._compile_delivery(
+                message.msg_type, message.dest, message.dest_unit
+            )
+        scheduler = self.scheduler
+        done = entry[2](scheduler.now, message.size_bytes)
+        sequence = scheduler._sequence
+        scheduler._sequence = sequence + 1
+        _heappush(scheduler._queue, (done, sequence, entry[1], entry[0], message))
+
+    def _compile_delivery(
+        self, msg_type: MessageType, dest: int, dest_unit: DestinationUnit
+    ) -> Tuple[str, Callable[[Message], None], Callable]:
+        """Resolve (deliver label, delivery entry, incoming transmit) once."""
+        deliver = self._resolve_delivery(msg_type, dest, dest_unit)
+        if deliver is None:
+            raise NetworkError(f"no unordered handler registered for node {dest}")
+        label = f"unordered-deliver:{msg_type}:n{dest}"
+        entry = (label, deliver, self.links[dest].incoming.transmit)
+        self._deliver_entries[(msg_type, dest, dest_unit)] = entry
+        return entry
+
+    def _resolve_delivery(
+        self, msg_type: MessageType, dest: int, dest_unit: DestinationUnit
+    ) -> Optional[Callable[[Message], None]]:
+        dispatcher = self._dispatchers.get(dest)
+        if dispatcher is not None:
+            return dispatcher.unordered_entry(dest_unit, msg_type)
+        return self._handlers.get(dest)

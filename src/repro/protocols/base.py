@@ -7,11 +7,19 @@ pieces the paper's protocols have in common: MSHR bookkeeping, data responses
 with the published latencies, block stores, directory stores, and the
 statistics every experiment reports (miss latency, sharing misses, message
 counts).
+
+Message handling is table-driven (see :mod:`repro.protocols.dispatch`): each
+subclass declares ``ORDERED_HANDLERS`` / ``UNORDERED_HANDLERS`` maps from
+message type to method name, compiled into bound-method tables at
+construction.  The networks index those tables directly, so there is no
+``handle_ordered``/``handle_unordered`` indirection on the delivery path;
+:meth:`dispatch_ordered` / :meth:`dispatch_unordered` remain as the generic
+entry points for tests and tools that deliver messages by hand.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import ClassVar, Dict, Mapping, Optional
 
 from ..common.config import SystemConfig
 from ..common.stats import StatsRegistry
@@ -24,9 +32,76 @@ from ..interconnect.message import DestinationUnit, Message, MessageType
 from ..interconnect.network import Interconnect
 from ..sim.component import Component
 from ..sim.scheduler import Scheduler
+from .dispatch import HandlerTable, compile_handlers, reject
 
 
-class CacheControllerBase(Component):
+class ProtocolController(Component):
+    """Common construction for both controller kinds: compiled dispatch tables
+    and the prebound hot-path callables the per-message pipeline uses."""
+
+    #: Declarative dispatch specs; subclasses override.  A message type absent
+    #: from a spec is explicitly rejected through the shared error path.
+    ORDERED_HANDLERS: ClassVar[Mapping[MessageType, str]] = {}
+    UNORDERED_HANDLERS: ClassVar[Mapping[MessageType, str]] = {}
+
+    def __init__(
+        self,
+        name: str,
+        node_id: int,
+        config: SystemConfig,
+        interconnect: Interconnect,
+        scheduler: Scheduler,
+        stats: StatsRegistry,
+    ) -> None:
+        super().__init__(name, scheduler, stats)
+        self.node_id = node_id
+        self.config = config
+        self.interconnect = interconnect
+        # Compiled dispatch tables: message type -> bound handler.
+        self.ordered_handlers: HandlerTable = compile_handlers(
+            self, self.ORDERED_HANDLERS
+        )
+        self.unordered_handlers: HandlerTable = compile_handlers(
+            self, self.UNORDERED_HANDLERS
+        )
+        # Hot-path prebinds: attribute chains and bound-method allocations cost
+        # real time at hundreds of thousands of events per second.
+        self._unordered_send = interconnect.unordered.send
+        self._ordered_send = interconnect.ordered.send
+        self._schedule_after_fast1 = scheduler.schedule_after_fast1
+        latency = config.latency
+        self._dram_latency = latency.dram_access
+        self._cache_response_latency = latency.cache_response
+        # Home interleaving is fixed per run; memoise per block address.
+        self._home_memo: Dict[int, int] = {}
+
+    # ------------------------------------------------------ generic dispatch
+
+    def dispatch_ordered(self, message: Message) -> None:
+        """Deliver one totally-ordered message through the dispatch table."""
+        handler = self.ordered_handlers.get(message.msg_type)
+        if handler is None:
+            reject(self, "ordered", message)
+        handler(message)
+
+    def dispatch_unordered(self, message: Message) -> None:
+        """Deliver one point-to-point message through the dispatch table."""
+        handler = self.unordered_handlers.get(message.msg_type)
+        if handler is None:
+            reject(self, "unordered", message)
+        handler(message)
+
+    # --------------------------------------------------------------- helpers
+
+    def home_of(self, address: int) -> int:
+        """Home node for ``address`` (memoised; the interleaving is fixed)."""
+        home = self._home_memo.get(address)
+        if home is None:
+            home = self._home_memo[address] = self.config.home_node(address)
+        return home
+
+
+class CacheControllerBase(ProtocolController):
     """Common cache-side behaviour: MSHRs, completion, data responses."""
 
     def __init__(
@@ -37,14 +112,25 @@ class CacheControllerBase(Component):
         scheduler: Scheduler,
         stats: StatsRegistry,
     ) -> None:
-        super().__init__(f"cache{node_id}", scheduler, stats)
-        self.node_id = node_id
-        self.config = config
-        self.interconnect = interconnect
+        super().__init__(
+            f"cache{node_id}", node_id, config, interconnect, scheduler, stats
+        )
         self.blocks = CacheBlockStore(config.cache_capacity_blocks)
         self.transactions: Dict[int, Transaction] = {}
         self.writebacks: Dict[int, Transaction] = {}
-        self._system_miss_latency = None
+        self._data_response_label = self.full_label("data-response")
+        # Per-request statistics handles, resolved once (registry lookups cost
+        # a dict probe plus string hash each, paid per protocol message
+        # otherwise).
+        stat = self.stats
+        self._ctr_requests = stat.counter(self.stat_name("requests"))
+        self._ctr_requests_gets = stat.counter(self.stat_name("requests.gets"))
+        self._ctr_requests_getm = stat.counter(self.stat_name("requests.getm"))
+        self._ctr_data_responses = stat.counter(self.stat_name("data_responses"))
+        self._miss_latency_mean = stat.running_mean(self.stat_name("miss_latency"))
+        self._system_miss_latency = stat.running_mean("system.miss_latency")
+        self._blocks_get = self.blocks.get
+        self._blocks_lookup = self.blocks.lookup
 
     # ------------------------------------------------------------------ API
 
@@ -73,14 +159,15 @@ class CacheControllerBase(Component):
         address; the processor model in the paper is blocking with one
         outstanding request, which the sequencer enforces.
         """
-        if kind not in (MessageType.GETS, MessageType.GETM):
+        if kind is not MessageType.GETS and kind is not MessageType.GETM:
             raise ProtocolError(f"issue_request only accepts GETS/GETM, got {kind}")
         if address in self.transactions:
             raise ProtocolError(
                 f"node {self.node_id} already has a request outstanding for "
                 f"address 0x{address:x}"
             )
-        state = self.state_of(address)
+        block = self._blocks_get(address)
+        state = MOSIState.INVALID if block is None else block.state
         if kind is MessageType.GETS and state.has_valid_data:
             raise ProtocolError(
                 f"GETS issued for address 0x{address:x} already valid ({state})"
@@ -93,16 +180,16 @@ class CacheControllerBase(Component):
             address=address,
             kind=kind,
             requester=self.node_id,
-            issue_time=self.now,
+            issue_time=self.scheduler.now,
             store_token=store_token,
             completion_callback=callback,
         )
         self.transactions[address] = transaction
-        self.count("requests")
+        self._ctr_requests._count += 1
         if kind is MessageType.GETM:
-            self.count("requests.getm")
+            self._ctr_requests_getm._count += 1
         else:
-            self.count("requests.gets")
+            self._ctr_requests_gets._count += 1
         self._send_request(transaction)
         return transaction
 
@@ -143,19 +230,7 @@ class CacheControllerBase(Component):
         """Put the writeback on the network (protocol specific)."""
         raise NotImplementedError
 
-    def handle_ordered(self, message: Message) -> None:
-        """Process a message delivered by the totally ordered network."""
-        raise NotImplementedError
-
-    def handle_unordered(self, message: Message) -> None:
-        """Process a message delivered by the unordered network."""
-        raise NotImplementedError
-
     # --------------------------------------------------------------- helpers
-
-    def home_of(self, address: int) -> int:
-        """Home node for ``address``."""
-        return self.config.home_node(address)
 
     def _send_data(
         self,
@@ -167,9 +242,7 @@ class CacheControllerBase(Component):
     ) -> None:
         """Send a data response after the appropriate lookup latency."""
         latency = (
-            self.config.latency.dram_access
-            if from_memory
-            else self.config.latency.cache_response
+            self._dram_latency if from_memory else self._cache_response_latency
         )
         message = Message(
             msg_type=MessageType.DATA,
@@ -183,12 +256,9 @@ class CacheControllerBase(Component):
             data_token=data_token,
             issue_time=self.now,
         )
-        self.count("data_responses")
-        self.schedule_fast1(
-            latency,
-            self.interconnect.send_unordered,
-            message,
-            "data-response",
+        self._ctr_data_responses._count += 1
+        self._schedule_after_fast1(
+            latency, self._unordered_send, message, self._data_response_label
         )
 
     def _complete(self, transaction: Transaction) -> None:
@@ -196,30 +266,26 @@ class CacheControllerBase(Component):
         if transaction.completed:
             return
         transaction.completed = True
-        transaction.completion_time = self.now
+        now = transaction.completion_time = self.scheduler.now
         if transaction.kind is MessageType.PUTM:
             self.writebacks.pop(transaction.address, None)
         else:
             self.transactions.pop(transaction.address, None)
-            latency = transaction.latency or 0
-            self.record("miss_latency", latency)
-            mean = self._system_miss_latency
-            if mean is None:
-                mean = self._system_miss_latency = self.stats.running_mean(
-                    "system.miss_latency"
-                )
-            mean.record(latency)
+            latency = now - transaction.issue_time
+            self._miss_latency_mean.record(latency)
+            self._system_miss_latency.record(latency)
         if transaction.completion_callback is not None:
             transaction.completion_callback(transaction)
 
 
-class MemoryControllerBase(Component):
+class MemoryControllerBase(ProtocolController):
     """Common memory-side behaviour: directory store and data responses."""
 
-    #: When True, :meth:`handle_ordered` acts only on home addresses, so the
-    #: node may skip the call entirely for non-home deliveries.  Every
-    #: controller in this repository satisfies the contract (the Directory
-    #: home consumes nothing from the ordered network at all).
+    #: When True, ordered deliveries only matter for home addresses, so the
+    #: node's compiled dispatch entry may skip this controller entirely for
+    #: non-home deliveries.  Every controller in this repository satisfies the
+    #: contract (the Directory home consumes nothing from the ordered network
+    #: at all).
     ordered_home_only = True
 
     def __init__(
@@ -230,14 +296,14 @@ class MemoryControllerBase(Component):
         scheduler: Scheduler,
         stats: StatsRegistry,
     ) -> None:
-        super().__init__(f"memory{node_id}", scheduler, stats)
-        self.node_id = node_id
-        self.config = config
-        self.interconnect = interconnect
+        super().__init__(
+            f"memory{node_id}", node_id, config, interconnect, scheduler, stats
+        )
         self.directory = DirectoryStore()
         # Home interleaving is fixed per run, and every ordered delivery asks
         # "is this mine?" — memoise the answer per block address.
         self._home_cache: Dict[int, bool] = {}
+        self._memory_data_label = self.full_label("memory-data")
 
     def is_home_for(self, address: int) -> bool:
         """True when this controller is the home for ``address``."""
@@ -246,14 +312,6 @@ class MemoryControllerBase(Component):
             cached = self.config.home_node(address) == self.node_id
             self._home_cache[address] = cached
         return cached
-
-    def handle_ordered(self, message: Message) -> None:
-        """Process a message delivered by the totally ordered network."""
-        raise NotImplementedError
-
-    def handle_unordered(self, message: Message) -> None:
-        """Process a message delivered by the unordered network."""
-        raise NotImplementedError
 
     def _send_data(
         self, address: int, dest: int, data_token: int, transaction_id: int
@@ -272,11 +330,8 @@ class MemoryControllerBase(Component):
             issue_time=self.now,
         )
         self.count("data_responses")
-        self.schedule_fast1(
-            self.config.latency.dram_access,
-            self.interconnect.send_unordered,
-            message,
-            "memory-data",
+        self._schedule_after_fast1(
+            self._dram_latency, self._unordered_send, message, self._memory_data_label
         )
 
     def _send_control(
@@ -300,9 +355,9 @@ class MemoryControllerBase(Component):
             transaction_id=transaction_id,
             issue_time=self.now,
         )
-        self.schedule_fast1(
+        self._schedule_after_fast1(
             delay,
-            self.interconnect.send_unordered,
+            self._unordered_send,
             message,
-            f"control-{msg_type}",
+            self.full_label(f"control-{msg_type}"),
         )

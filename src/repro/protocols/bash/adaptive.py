@@ -23,8 +23,9 @@ high/low utilization — about a thousand L2 misses on the paper's target system
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, MutableSequence, Optional, Sequence
 
 from ...common.config import AdaptiveConfig
 from ...common.counters import SignedSaturatingCounter, UnsignedSaturatingCounter
@@ -57,7 +58,15 @@ class BandwidthAdaptiveMechanism:
         self.policy_counter = UnsignedSaturatingCounter(bits=config.policy_counter_bits)
         seed = config.lfsr_seed if lfsr_seed is None else lfsr_seed
         self.lfsr = LinearFeedbackShiftRegister(seed=seed)
-        self.history: List[AdaptiveSample] = []
+        #: Recent samples.  Bounded by default (PAPER-scale runs take millions
+        #: of samples per node and used to grow memory without limit — ROADMAP
+        #: open item); ``record_full_history`` opts into an unbounded list for
+        #: plots and tests that replay whole traces.
+        self.history: MutableSequence[AdaptiveSample] = (
+            []
+            if config.record_full_history
+            else deque(maxlen=config.history_capacity)
+        )
         self._broadcasts = 0
         self._unicasts = 0
 

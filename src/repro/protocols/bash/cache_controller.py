@@ -31,6 +31,11 @@ from .adaptive import BandwidthAdaptiveMechanism
 class BashCacheController(SnoopingCacheController):
     """Hybrid cache controller: snooping behaviour, adaptive request fan-out."""
 
+    UNORDERED_HANDLERS = {
+        **SnoopingCacheController.UNORDERED_HANDLERS,
+        MessageType.NACK: "_handle_nack",
+    }
+
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         adaptive_config = self.config.adaptive
@@ -120,13 +125,6 @@ class BashCacheController(SnoopingCacheController):
 
     # ------------------------------------------------------ unordered extras
 
-    def handle_unordered(self, message: Message) -> None:
-        """Handle data responses plus the BASH deadlock-resolution nack."""
-        if message.msg_type is MessageType.NACK:
-            self._handle_nack(message)
-            return
-        super().handle_unordered(message)
-
     def _handle_nack(self, message: Message) -> None:
         """The memory controller could not buffer a retry: reissue as broadcast."""
         transaction = self._matching_transaction(message)
@@ -153,7 +151,7 @@ class BashCacheController(SnoopingCacheController):
 
     # ---------------------------------------------------------------- checks
 
-    def _handle_own_request(self, message: Message) -> None:
-        if message.msg_type is MessageType.PUTM and message.is_retry:
+    def _snoop_putm(self, message: Message) -> None:
+        if message.is_retry and message.requester == self.node_id:
             raise ProtocolError("writebacks are never retried in BASH")
-        super()._handle_own_request(message)
+        super()._snoop_putm(message)

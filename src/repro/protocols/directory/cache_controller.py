@@ -22,28 +22,51 @@ from ..base import CacheControllerBase
 class DirectoryCacheController(CacheControllerBase):
     """MOSI cache controller that unicasts its requests to the home directory."""
 
+    ORDERED_HANDLERS = {
+        MessageType.MARKER: "_handle_marker",
+        MessageType.FWD_GETS: "_handle_forward",
+        MessageType.FWD_GETM: "_handle_forward",
+        MessageType.PUT_ACK: "_handle_put_response",
+        MessageType.PUT_NACK: "_handle_put_response",
+    }
+    UNORDERED_HANDLERS = {
+        MessageType.DATA: "_handle_data",
+    }
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._ctr_unicast_requests = self.stats.counter(
+            self.stat_name("unicast_requests")
+        )
+        self._request_bytes = self.config.request_message_bytes
+
     # ------------------------------------------------------------- sending
 
     def _send_request(self, transaction: Transaction) -> None:
         transaction.was_broadcast = False
-        state = self.state_of(transaction.address)
-        if transaction.kind is MessageType.GETM and state.is_owner:
+        address = transaction.address
+        block = self._blocks_get(address)
+        if (
+            transaction.kind is MessageType.GETM
+            and block is not None
+            and block.state.is_owner
+        ):
             # An upgrade from O needs no data; it completes at its marker.
             transaction.expects_data = False
         message = Message(
             msg_type=transaction.kind,
             src=self.node_id,
-            dest=self.home_of(transaction.address),
+            dest=self.home_of(address),
             dest_unit=DestinationUnit.MEMORY,
-            address=transaction.address,
-            size_bytes=self.config.request_message_bytes,
+            address=address,
+            size_bytes=self._request_bytes,
             requester=self.node_id,
             transaction_id=transaction.transaction_id,
             data_token=transaction.store_token,
             issue_time=self.now,
         )
-        self.count("unicast_requests")
-        self.interconnect.send_unordered(message)
+        self._ctr_unicast_requests._count += 1
+        self._unordered_send(message)
 
     def _send_writeback(self, transaction: Transaction) -> None:
         """Write the owned block back to the home; the data rides with the PUT."""
@@ -60,27 +83,9 @@ class DirectoryCacheController(CacheControllerBase):
             data_token=block.data_token,
             issue_time=self.now,
         )
-        self.interconnect.send_unordered(message)
+        self._unordered_send(message)
 
     # ---------------------------------------------------------- ordered path
-
-    def handle_ordered(self, message: Message) -> None:
-        """Process markers and forwarded requests from the ordered network."""
-        if message.msg_type is MessageType.MARKER:
-            self._handle_marker(message)
-            return
-        if message.msg_type in (MessageType.PUT_ACK, MessageType.PUT_NACK):
-            self._handle_put_response(message)
-            return
-        if message.msg_type in (MessageType.FWD_GETS, MessageType.FWD_GETM):
-            if message.requester == self.node_id:
-                self._handle_own_forward(message)
-            else:
-                self._handle_other_forward(message)
-            return
-        raise ProtocolError(
-            f"directory cache controller cannot handle ordered {message.msg_type}"
-        )
 
     def _handle_marker(self, message: Message) -> None:
         transaction = self.transactions.get(message.address)
@@ -90,14 +95,21 @@ class DirectoryCacheController(CacheControllerBase):
         transaction.record_marker(message.order_seq)
         self._try_complete(transaction)
 
-    def _handle_own_forward(self, message: Message) -> None:
-        """Our own request forwarded by the directory doubles as our marker."""
-        transaction = self.transactions.get(message.address)
-        if transaction is None or transaction.transaction_id != message.transaction_id:
-            self.count("stale_markers")
+    def _handle_forward(self, message: Message) -> None:
+        """Process one forwarded request from the ordered multicast network."""
+        if message.requester == self.node_id:
+            # Our own request forwarded by the directory doubles as our marker.
+            transaction = self.transactions.get(message.address)
+            if (
+                transaction is None
+                or transaction.transaction_id != message.transaction_id
+            ):
+                self.count("stale_markers")
+                return
+            transaction.record_marker(message.order_seq)
+            self._try_complete(transaction)
             return
-        transaction.record_marker(message.order_seq)
-        self._try_complete(transaction)
+        self._handle_other_forward(message)
 
     def _handle_other_forward(self, message: Message) -> None:
         address = message.address
@@ -111,7 +123,7 @@ class DirectoryCacheController(CacheControllerBase):
             ):
                 # The directory made us the owner before it forwarded this
                 # request to us, but our data has not arrived yet: defer.
-                transaction.deferred.append(message)
+                transaction.defer(message)
                 self.count("deferred_requests")
                 if (
                     message.msg_type is MessageType.FWD_GETM
@@ -121,7 +133,7 @@ class DirectoryCacheController(CacheControllerBase):
                 return
             if transaction.kind is MessageType.GETS:
                 if message.msg_type is MessageType.FWD_GETM:
-                    transaction.invalidate_seqs.append(message.order_seq)
+                    transaction.note_invalidate(message.order_seq)
                 if block.state is MOSIState.SHARED:
                     block.invalidate()
                 return
@@ -172,15 +184,6 @@ class DirectoryCacheController(CacheControllerBase):
 
     # --------------------------------------------------------- unordered path
 
-    def handle_unordered(self, message: Message) -> None:
-        """Process data responses from the unordered network."""
-        if message.msg_type is MessageType.DATA:
-            self._handle_data(message)
-            return
-        raise ProtocolError(
-            f"directory cache controller cannot handle unordered {message.msg_type}"
-        )
-
     def _handle_data(self, message: Message) -> None:
         transaction = self.transactions.get(message.address)
         if (
@@ -192,12 +195,16 @@ class DirectoryCacheController(CacheControllerBase):
             return
         transaction.data_received = True
         transaction.received_token = message.data_token
-        block = self.blocks.lookup(message.address)
         if transaction.kind is MessageType.GETM:
-            # Install ownership immediately so later forwarded requests are
-            # served, but only report completion once the marker arrives.
-            block.become_owner(transaction.store_token)
-            self._service_deferred(transaction, block)
+            # Install ownership immediately (inlined block.become_owner) so
+            # later forwarded requests are served, but only report completion
+            # once the marker arrives.
+            block = self._blocks_lookup(message.address)
+            block.state = MOSIState.MODIFIED
+            block.data_token = transaction.store_token
+            block.tracked_sharers.clear()
+            if transaction.deferred:
+                self._service_deferred(transaction, block)
         self._try_complete(transaction)
 
     # ------------------------------------------------------------ completion
@@ -207,7 +214,7 @@ class DirectoryCacheController(CacheControllerBase):
             return
         if transaction.expects_data and not transaction.data_received:
             return
-        block = self.blocks.lookup(transaction.address)
+        block = self._blocks_lookup(transaction.address)
         if transaction.kind is MessageType.GETM:
             if not transaction.data_received:
                 # Upgrade without a data response: install ownership here.
@@ -215,7 +222,8 @@ class DirectoryCacheController(CacheControllerBase):
                 # when the data arrived (so deferred forwards could be served)
                 # and only report completion now.
                 block.become_owner(transaction.store_token)
-                self._service_deferred(transaction, block)
+                if transaction.deferred:
+                    self._service_deferred(transaction, block)
             self._complete(transaction)
         else:
             self._finish_gets(transaction, block)
@@ -235,4 +243,4 @@ class DirectoryCacheController(CacheControllerBase):
             if not block.is_owner:
                 break
             self._serve_forward(block, deferred)
-        transaction.deferred.clear()
+        transaction.clear_deferred()

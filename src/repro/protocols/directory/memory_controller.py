@@ -7,93 +7,130 @@ forwarded on the totally ordered multicast network to the owner, the sharers
 and the requester.  Writebacks carry their data with the PUT and are
 acknowledged (or rejected, if ownership already moved) on the ordered network
 so that acknowledgements never overtake forwarded requests.
+
+This is the protocol's per-message hot path, so the whole home-unicast →
+marker → forward pipeline runs on the allocation-free scheduler fast path:
+outgoing ordered messages carry their recipient set in ``message.recipients``
+and are injected by one prebound callable (no closure per message), event
+labels are resolved once per message type, and singleton recipient sets are
+memoised per destination node.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from typing import Dict, FrozenSet
 
-from ...coherence.directory import DirectoryEntry
+from ...coherence.state import MEMORY_OWNER
 from ...errors import ProtocolError
-from ...interconnect.message import DestinationUnit, Message, MessageType
+from ...interconnect.message import Message, MessageType
 from ..base import MemoryControllerBase
 
 
 class DirectoryMemoryController(MemoryControllerBase):
     """Full-directory (owner + sharer superset) home node controller."""
 
-    # --------------------------------------------------------- ordered path
+    #: The directory itself consumes nothing from the ordered network, so its
+    #: ordered table is empty and the node's compiled dispatch entry skips the
+    #: memory side entirely for ordered deliveries.
+    ORDERED_HANDLERS: Dict[MessageType, str] = {}
+    UNORDERED_HANDLERS = {
+        MessageType.GETS: "_handle_gets",
+        MessageType.GETM: "_handle_getm",
+        MessageType.PUTM: "_handle_putm",
+    }
 
-    def handle_ordered(self, message: Message) -> None:
-        """The directory itself consumes nothing from the ordered network."""
-        return
-
-    # ------------------------------------------------------- unordered path
-
-    def handle_unordered(self, message: Message) -> None:
-        """Serialise and process one request received at the home."""
-        if not self.is_home_for(message.address):
-            raise ProtocolError(
-                f"node {self.node_id} received a request for address "
-                f"0x{message.address:x} it is not home for"
-            )
-        if message.msg_type is MessageType.GETS:
-            self._handle_gets(message)
-        elif message.msg_type is MessageType.GETM:
-            self._handle_getm(message)
-        elif message.msg_type is MessageType.PUTM:
-            self._handle_putm(message)
-        else:
-            raise ProtocolError(
-                f"directory controller cannot handle {message.msg_type}"
-            )
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Hot-path memos for the marker/forward pipeline: labels match the
+        # strings the pre-table implementation generated (the golden traces
+        # pin them), and singleton recipient sets recur per requester.
+        self._marker_label = self.full_label("marker")
+        self._forward_labels = {
+            MessageType.FWD_GETS: self.full_label(f"forward-{MessageType.FWD_GETS}"),
+            MessageType.FWD_GETM: self.full_label(f"forward-{MessageType.FWD_GETM}"),
+        }
+        self._put_response_labels = {
+            MessageType.PUT_ACK: self.full_label(
+                f"put-response-{MessageType.PUT_ACK}"
+            ),
+            MessageType.PUT_NACK: self.full_label(
+                f"put-response-{MessageType.PUT_NACK}"
+            ),
+        }
+        self._singletons: Dict[int, FrozenSet[int]] = {}
+        self._directory_lookup = self.directory.lookup
+        self._request_bytes = self.config.request_message_bytes
+        self._ctr_memory_responses = self.stats.counter(
+            self.stat_name("memory_responses")
+        )
+        self._ctr_forwards = self.stats.counter(self.stat_name("forwards"))
 
     # ----------------------------------------------------------- GETS / GETM
 
     def _handle_gets(self, message: Message) -> None:
-        entry = self.directory.lookup(message.address)
+        """Serialise one GETS received unicast at the home."""
+        self._require_home(message)
+        entry = self._directory_lookup(message.address)
         requester = message.requester
-        if entry.memory_is_owner or entry.owner == requester:
+        owner = entry.owner
+        if owner == MEMORY_OWNER or owner == requester:
             self._send_data(
                 message.address, requester, entry.data_token, message.transaction_id
             )
             self._send_marker(message)
-            self.count("memory_responses")
+            self._ctr_memory_responses._count += 1
         else:
             self._forward(
                 MessageType.FWD_GETS,
                 message,
-                recipients=frozenset({entry.owner, requester}),
+                recipients=frozenset((owner, requester)),
             )
-        entry.add_sharer(requester)
+        if requester != owner:
+            entry.sharers.add(requester)
 
     def _handle_getm(self, message: Message) -> None:
-        entry = self.directory.lookup(message.address)
+        """Serialise one GETM received unicast at the home."""
+        self._require_home(message)
+        entry = self._directory_lookup(message.address)
         requester = message.requester
-        invalidation_targets = set(entry.sharers)
-        invalidation_targets.discard(requester)
-        if entry.memory_is_owner:
+        owner = entry.owner
+        sharers = entry.sharers
+        # The forward multicast always includes the requester (its returning
+        # copy is its marker), so the recipient set is simply the sharers plus
+        # the requester — plus the owning cache, when there is one to drain.
+        if owner == MEMORY_OWNER:
             self._send_data(
                 message.address, requester, entry.data_token, message.transaction_id
             )
-            self.count("memory_responses")
-            recipients = frozenset(invalidation_targets | {requester})
-            if invalidation_targets:
-                self._forward(MessageType.FWD_GETM, message, recipients=recipients)
+            self._ctr_memory_responses._count += 1
+            if sharers and (requester not in sharers or len(sharers) > 1):
+                self._forward(
+                    MessageType.FWD_GETM,
+                    message,
+                    recipients=frozenset(sharers | {requester}),
+                )
             else:
+                # No other sharer needs invalidating: the marker suffices.
                 self._send_marker(message)
-        elif entry.owner == requester:
-            recipients = frozenset(invalidation_targets | {requester})
-            self._forward(MessageType.FWD_GETM, message, recipients=recipients)
-        else:
-            recipients = frozenset(
-                invalidation_targets | {entry.owner, requester}
+        elif owner == requester:
+            self._forward(
+                MessageType.FWD_GETM,
+                message,
+                recipients=frozenset(sharers | {requester}),
             )
-            self._forward(MessageType.FWD_GETM, message, recipients=recipients)
-        entry.grant_exclusive(requester)
+        else:
+            self._forward(
+                MessageType.FWD_GETM,
+                message,
+                recipients=frozenset(sharers | {owner, requester}),
+            )
+        entry.owner = requester
+        sharers.clear()
 
     def _handle_putm(self, message: Message) -> None:
-        entry = self.directory.lookup(message.address)
+        """Serialise one writeback (data rides with the PUT) at the home."""
+        self._require_home(message)
+        entry = self._directory_lookup(message.address)
         writer = message.requester
         if entry.owner == writer:
             entry.writeback_to_memory(message.data_token)
@@ -110,23 +147,38 @@ class DirectoryMemoryController(MemoryControllerBase):
 
     # ---------------------------------------------------------------- helpers
 
+    def _require_home(self, message: Message) -> None:
+        if not self.is_home_for(message.address):
+            raise ProtocolError(
+                f"node {self.node_id} received a request for address "
+                f"0x{message.address:x} it is not home for"
+            )
+
+    def _singleton(self, node_id: int) -> FrozenSet[int]:
+        recipients = self._singletons.get(node_id)
+        if recipients is None:
+            recipients = self._singletons[node_id] = frozenset({node_id})
+        return recipients
+
+    def _inject_ordered(self, message: Message) -> None:
+        """Fast-path injector: the recipient set rides on the message."""
+        self._ordered_send(message, message.recipients)
+
     def _send_marker(self, request: Message) -> None:
         """Tell the requester where its request landed in the total order."""
+        requester = request.requester
         marker = Message(
             msg_type=MessageType.MARKER,
             src=self.node_id,
             address=request.address,
-            size_bytes=self.config.request_message_bytes,
-            requester=request.requester,
+            size_bytes=self._request_bytes,
+            requester=requester,
             transaction_id=request.transaction_id,
+            recipients=self._singleton(requester),
             issue_time=self.now,
         )
-        self.schedule_fast(
-            self.config.latency.dram_access,
-            lambda: self.interconnect.send_ordered(
-                marker, frozenset({request.requester})
-            ),
-            "marker",
+        self._schedule_after_fast1(
+            self._dram_latency, self._inject_ordered, marker, self._marker_label
         )
 
     def _forward(
@@ -137,17 +189,19 @@ class DirectoryMemoryController(MemoryControllerBase):
             msg_type=msg_type,
             src=self.node_id,
             address=request.address,
-            size_bytes=self.config.request_message_bytes,
+            size_bytes=self._request_bytes,
             requester=request.requester,
             transaction_id=request.transaction_id,
             data_token=request.data_token,
+            recipients=recipients,
             issue_time=self.now,
         )
         self.count("forwards")
-        self.schedule_fast(
-            self.config.latency.dram_access,
-            lambda: self.interconnect.send_ordered(forward, recipients),
-            f"forward-{msg_type}",
+        self._schedule_after_fast1(
+            self._dram_latency,
+            self._inject_ordered,
+            forward,
+            self._forward_labels[msg_type],
         )
 
     def _send_ordered_control(
@@ -158,13 +212,15 @@ class DirectoryMemoryController(MemoryControllerBase):
             msg_type=msg_type,
             src=self.node_id,
             address=address,
-            size_bytes=self.config.request_message_bytes,
+            size_bytes=self._request_bytes,
             requester=dest,
             transaction_id=transaction_id,
+            recipients=self._singleton(dest),
             issue_time=self.now,
         )
-        self.schedule_fast(
-            self.config.latency.dram_access,
-            lambda: self.interconnect.send_ordered(message, frozenset({dest})),
-            f"put-response-{msg_type}",
+        self._schedule_after_fast1(
+            self._dram_latency,
+            self._inject_ordered,
+            message,
+            self._put_response_labels[msg_type],
         )

@@ -1,0 +1,79 @@
+"""Table-driven message dispatch shared by every protocol controller.
+
+Each controller class declares, per virtual network, which
+:class:`~repro.interconnect.message.MessageType` values it handles and which
+method implements each one::
+
+    class DirectoryCacheController(CacheControllerBase):
+        ORDERED_HANDLERS = {
+            MessageType.MARKER: "_handle_marker",
+            MessageType.FWD_GETS: "_handle_forward",
+            ...
+        }
+
+At construction the declarations are *compiled* into tables of bound methods
+(:func:`compile_handlers`), so delivering a message is a single dictionary
+index — no ``isinstance`` checks, no enum ``if``/``elif`` chains, and no
+intermediate ``handle_*`` method between the network and the protocol logic.
+:class:`~repro.system.node.Node` merges the two controllers' tables into the
+per-node delivery entries the networks index directly.
+
+A message type absent from a controller's table is an *explicit rejection*:
+delivery fails loudly through the one shared error path (:func:`reject`),
+which every controller and both networks share.  The exhaustiveness test in
+``tests/protocols/test_dispatch_engine.py`` walks every controller class and
+every message type to pin the handled/rejected split.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, NoReturn
+
+from ..errors import ProtocolError
+from ..interconnect.message import Message, MessageType
+
+#: A compiled dispatch table: message type -> bound handler.
+HandlerTable = Dict[MessageType, Callable[[Message], None]]
+
+
+def compile_handlers(
+    controller: object, spec: Mapping[MessageType, str]
+) -> HandlerTable:
+    """Bind a declarative ``{message type: method name}`` spec to an instance.
+
+    Raises :class:`ProtocolError` when a declared method does not exist, so a
+    typo in a handler declaration fails at construction rather than at the
+    first delivery of that message type.
+    """
+    table: HandlerTable = {}
+    for msg_type, method_name in spec.items():
+        handler = getattr(controller, method_name, None)
+        if handler is None:
+            raise ProtocolError(
+                f"{type(controller).__name__} declares {msg_type} -> "
+                f"{method_name!r} but has no such method"
+            )
+        table[msg_type] = handler
+    return table
+
+
+def reject(controller: object, network: str, message: Message) -> NoReturn:
+    """The one shared error path for messages no handler is registered for."""
+    raise ProtocolError(
+        f"{type(controller).__name__}({getattr(controller, 'name', '?')}) "
+        f"has no handler for {network} {message.msg_type}"
+    )
+
+
+def rejecter(controller: object, network: str) -> Callable[[Message], None]:
+    """A delivery entry that rejects every message through :func:`reject`.
+
+    Compiled into a node's dispatch table in place of a missing handler, so
+    an unregistered message type fails loudly *when the delivery event fires*
+    (the same point in simulated time a handler would have run).
+    """
+
+    def reject_delivery(message: Message) -> NoReturn:
+        reject(controller, network, message)
+
+    return reject_delivery

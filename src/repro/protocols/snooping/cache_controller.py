@@ -28,6 +28,15 @@ from ..base import CacheControllerBase
 class SnoopingCacheController(CacheControllerBase):
     """MOSI snooping cache controller with broadcast-on-miss behaviour."""
 
+    ORDERED_HANDLERS = {
+        MessageType.GETS: "_snoop_request",
+        MessageType.GETM: "_snoop_request",
+        MessageType.PUTM: "_snoop_putm",
+    }
+    UNORDERED_HANDLERS = {
+        MessageType.DATA: "_handle_data",
+    }
+
     # ------------------------------------------------------------- sending
 
     def _request_recipients(self, transaction: Transaction) -> frozenset:
@@ -60,32 +69,19 @@ class SnoopingCacheController(CacheControllerBase):
             self.count("broadcast_requests")
         else:
             self.count("unicast_requests")
-        self.interconnect.send_ordered(message, recipients)
+        self._ordered_send(message, recipients)
 
     def _send_writeback(self, transaction: Transaction) -> None:
         message = self._build_request_message(transaction, MessageType.PUTM)
-        self.interconnect.send_ordered(
-            message, self._writeback_recipients(transaction)
-        )
+        self._ordered_send(message, self._writeback_recipients(transaction))
 
     # ---------------------------------------------------------- ordered path
 
-    def handle_ordered(self, message: Message) -> None:
-        """Snoop one request delivered in the global total order."""
-        msg_type = message.msg_type
-        if (
-            msg_type is not MessageType.GETS
-            and msg_type is not MessageType.GETM
-            and msg_type is not MessageType.PUTM
-        ):
-            raise ProtocolError(
-                f"snooping cache controller cannot handle {message.msg_type}"
-            )
+    def _snoop_request(self, message: Message) -> None:
+        """Snoop one GETS/GETM delivered in the global total order."""
         if message.requester == self.node_id:
             self._handle_own_request(message)
             return
-        if msg_type is MessageType.PUTM:
-            return  # only the writer and the home memory care about a PUT
         # Early-out inline: most snoops are for blocks this node neither holds
         # nor has a transaction for, and must not pay another call frame.
         address = message.address
@@ -95,12 +91,15 @@ class SnoopingCacheController(CacheControllerBase):
             return
         self._handle_other_request(message)
 
+    def _snoop_putm(self, message: Message) -> None:
+        """Snoop a writeback request: only the writer itself reacts."""
+        if message.requester == self.node_id:
+            self._handle_own_writeback_marker(message)
+        # Other caches ignore PUTs; the home memory controller tracks them.
+
     # Own requests ---------------------------------------------------------
 
     def _handle_own_request(self, message: Message) -> None:
-        if message.msg_type is MessageType.PUTM:
-            self._handle_own_writeback_marker(message)
-            return
         transaction = self.transactions.get(message.address)
         if transaction is None or transaction.transaction_id != message.transaction_id:
             self.count("stale_own_requests")
@@ -191,11 +190,11 @@ class SnoopingCacheController(CacheControllerBase):
             data_token=data_token,
             issue_time=self.now,
         )
-        self.schedule_fast1(
-            self.config.latency.cache_response,
-            self.interconnect.send_unordered,
+        self._schedule_after_fast1(
+            self._cache_response_latency,
+            self._unordered_send,
             message,
-            f"writeback-{msg_type}",
+            self.full_label(f"writeback-{msg_type}"),
         )
 
     # Other nodes' requests --------------------------------------------------
@@ -210,7 +209,7 @@ class SnoopingCacheController(CacheControllerBase):
             # No record and no pending transaction for this address: the snoop
             # cannot concern us, so don't materialise an Invalid record (one
             # would be allocated per node per snooped request otherwise).
-            # handle_ordered short-circuits this case before calling here, but
+            # _snoop_request short-circuits this case before calling here, but
             # keep the guard for direct callers.
             if transaction is None or transaction.completed:
                 return
@@ -224,7 +223,7 @@ class SnoopingCacheController(CacheControllerBase):
                 # We are (or may become) the owner at an earlier point in the
                 # total order but have not received data yet: defer the request
                 # and service it when the data arrives.
-                transaction.deferred.append(message)
+                transaction.defer(message)
                 self.count("deferred_requests")
                 # A deferred GETM also invalidates any shared copy we hold.
                 if (
@@ -235,7 +234,7 @@ class SnoopingCacheController(CacheControllerBase):
                 return
             if transaction.kind is MessageType.GETS:
                 if message.request_kind is MessageType.GETM:
-                    transaction.invalidate_seqs.append(message.order_seq)
+                    transaction.note_invalidate(message.order_seq)
                 if block.state is MOSIState.SHARED:
                     block.invalidate()
                 return
@@ -288,15 +287,6 @@ class SnoopingCacheController(CacheControllerBase):
 
     # --------------------------------------------------------- unordered path
 
-    def handle_unordered(self, message: Message) -> None:
-        """Process a point-to-point message (data responses in Snooping)."""
-        if message.msg_type is MessageType.DATA:
-            self._handle_data(message)
-            return
-        raise ProtocolError(
-            f"snooping cache controller cannot handle {message.msg_type}"
-        )
-
     def _handle_data(self, message: Message) -> None:
         transaction = self.transactions.get(message.address)
         if (
@@ -347,4 +337,4 @@ class SnoopingCacheController(CacheControllerBase):
                     self.count("deferred_dropped")
                     continue
             self._serve_stable(block, deferred)
-        transaction.deferred.clear()
+        transaction.clear_deferred()

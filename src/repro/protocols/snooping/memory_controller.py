@@ -18,7 +18,6 @@ from collections import deque
 from typing import Deque, Dict, Set
 
 from ...coherence.directory import DirectoryEntry
-from ...coherence.state import MEMORY_OWNER
 from ...errors import ProtocolError
 from ...interconnect.message import Message, MessageType
 from ..base import MemoryControllerBase
@@ -26,6 +25,16 @@ from ..base import MemoryControllerBase
 
 class OrderedHomeMemoryController(MemoryControllerBase):
     """Shared home-node behaviour for Snooping and BASH."""
+
+    ORDERED_HANDLERS = {
+        MessageType.GETS: "_ordered_request",
+        MessageType.GETM: "_ordered_request",
+        MessageType.PUTM: "_ordered_put",
+    }
+    UNORDERED_HANDLERS = {
+        MessageType.WB_DATA: "_handle_writeback_data",
+        MessageType.WB_SQUASH: "_handle_writeback_squash",
+    }
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -36,17 +45,10 @@ class OrderedHomeMemoryController(MemoryControllerBase):
 
     # ---------------------------------------------------------- ordered path
 
-    def handle_ordered(self, message: Message) -> None:
-        """Process one request in the global total order (home blocks only)."""
+    def _ordered_request(self, message: Message) -> None:
+        """Process one GETS/GETM in the global total order (home blocks only)."""
         if not self.is_home_for(message.address):
             return
-        if message.msg_type is MessageType.PUTM:
-            self._handle_put(message)
-            return
-        if message.msg_type not in (MessageType.GETS, MessageType.GETM):
-            raise ProtocolError(
-                f"memory controller cannot handle ordered {message.msg_type}"
-            )
         entry = self.directory.lookup(message.address)
         self._note_request_observed(entry, message)
         if entry.awaiting_writeback:
@@ -60,7 +62,10 @@ class OrderedHomeMemoryController(MemoryControllerBase):
 
     # ------------------------------------------------------------ writebacks
 
-    def _handle_put(self, message: Message) -> None:
+    def _ordered_put(self, message: Message) -> None:
+        """Observe a PUT in the total order (home blocks only)."""
+        if not self.is_home_for(message.address):
+            return
         entry = self.directory.lookup(message.address)
         self._pending_puts.setdefault(message.address, set()).add(message.requester)
         self.count("puts_observed")
@@ -77,18 +82,6 @@ class OrderedHomeMemoryController(MemoryControllerBase):
         the directory's owner identity.
         """
         return not entry.memory_is_owner
-
-    def handle_unordered(self, message: Message) -> None:
-        """Process writeback payloads (and protocol-specific extras)."""
-        if message.msg_type is MessageType.WB_DATA:
-            self._handle_writeback_data(message)
-            return
-        if message.msg_type is MessageType.WB_SQUASH:
-            self._handle_writeback_squash(message)
-            return
-        raise ProtocolError(
-            f"memory controller cannot handle unordered {message.msg_type}"
-        )
 
     def _handle_writeback_data(self, message: Message) -> None:
         entry = self.directory.lookup(message.address)

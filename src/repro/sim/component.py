@@ -68,6 +68,18 @@ class Component:
             self._label_cache[label] = full
         self.scheduler.schedule_after_fast1(delay, callback, arg, full)
 
+    def full_label(self, label: str) -> str:
+        """The component-prefixed event label for ``label``, memoised.
+
+        Hot call sites resolve their labels once at construction and pass the
+        result straight to the scheduler fast-path API, skipping the per-call
+        cache probe in :meth:`schedule_fast`/:meth:`schedule_fast1`.
+        """
+        full = self._label_cache.get(label)
+        if full is None:
+            full = self._label_cache[label] = self._label_prefix + label
+        return full
+
     def stat_name(self, suffix: str) -> str:
         """Fully qualified statistic name for this component."""
         return f"{self.name}.{suffix}"

@@ -30,6 +30,10 @@ from .event import Event
 #: queued *and* they outnumber the live ones.
 _COMPACT_MIN_CANCELLED = 64
 
+#: Sentinel bound for `run`'s until/max_events checks: larger than any event
+#: time or counter, so "no bound" needs no per-event None test.
+_NO_BOUND = float("inf")
+
 _new_event = object.__new__
 
 
@@ -240,52 +244,62 @@ class Scheduler:
         one-element list whose slot 0 an event callback flips to True.
         Checking it costs a C-level subscript per event instead of a Python
         call.  Returns the number of events fired by this call.
+
+        The loop keeps the fired-event counter in a local and hoists the
+        ``on_fire`` hook (install it *before* calling :meth:`run`); the
+        ``until``/``max_events`` bounds are normalised to plain comparisons so
+        the per-event bookkeeping is a handful of C-level operations.
         """
         queue = self._queue
         heappop = _heappop
-        fired_before = self._fired
-        limit = None if max_events is None else fired_before + max_events
-        while queue:
-            if stop_flag is not None and stop_flag[0]:
-                break
-            # Pop-first fast path: re-pushing the entry on a stop condition
-            # happens at most once per call, while a peek would cost a heap
-            # access on every iteration.
-            entry = heappop(queue)
-            size = len(entry)
-            if size == 3:
-                event = entry[2]
-                if event.cancelled:
-                    event._scheduler = None
-                    self._cancelled -= 1
-                    continue
-            else:
-                # Fast-path entry: (time, sequence, callback, label[, arg]),
-                # never cancellable.
-                event = None
-            time = entry[0]
-            if until is not None and time > until:
-                _heappush(queue, entry)
-                self.now = until
-                break
-            if (limit is not None and self._fired >= limit) or (
-                stop_when is not None and stop_when()
-            ):
-                _heappush(queue, entry)
-                break
-            self.now = time
-            if event is None:
-                if size == 5:
-                    entry[2](entry[4])
+        fired_before = fired = self._fired
+        # Normalise the bounds so the per-event checks are single comparisons:
+        # float('inf') compares against ints in C.
+        until_bound = _NO_BOUND if until is None else until
+        limit = _NO_BOUND if max_events is None else fired_before + max_events
+        on_fire = self.on_fire
+        try:
+            while queue:
+                if stop_flag is not None and stop_flag[0]:
+                    break
+                # Pop-first fast path: re-pushing the entry on a stop condition
+                # happens at most once per call, while a peek would cost a heap
+                # access on every iteration.
+                entry = heappop(queue)
+                size = len(entry)
+                if size == 3:
+                    event = entry[2]
+                    if event.cancelled:
+                        event._scheduler = None
+                        self._cancelled -= 1
+                        continue
                 else:
-                    entry[2]()
-            else:
-                event._scheduler = None
-                event.callback()
-            self._fired += 1
-            if self.on_fire is not None:
-                self.on_fire(time, entry[3] if event is None else event.label)
-        return self._fired - fired_before
+                    # Fast-path entry: (time, sequence, callback, label[, arg]),
+                    # never cancellable.
+                    event = None
+                time = entry[0]
+                if time > until_bound:
+                    _heappush(queue, entry)
+                    self.now = until
+                    break
+                if fired >= limit or (stop_when is not None and stop_when()):
+                    _heappush(queue, entry)
+                    break
+                self.now = time
+                if event is None:
+                    if size == 5:
+                        entry[2](entry[4])
+                    else:
+                        entry[2]()
+                else:
+                    event._scheduler = None
+                    event.callback()
+                fired += 1
+                if on_fire is not None:
+                    on_fire(time, entry[3] if event is None else event.label)
+        finally:
+            self._fired = fired
+        return fired - fired_before
 
     def drain(self) -> None:
         """Discard all pending events without running them."""

@@ -95,9 +95,7 @@ class MultiprocessorSystem:
             )
             node = Node(node_id, cache, memory, sequencer)
             self.nodes.append(node)
-            self.interconnect.register_node(
-                node_id, node.deliver_ordered, node.deliver_unordered
-            )
+            self.interconnect.attach_node(node_id, node)
         # The workload-finished check runs once per fired event, so it must be
         # as cheap as possible: count down running sequencers and flip a stop
         # cell the scheduler polls with a C-level subscript (see

@@ -56,6 +56,21 @@ class Sequencer(Component):
         # System-wide stat handles hoisted out of the per-operation path.
         self._sys_operations = stats.counter("system.operations")
         self._sys_instructions = stats.counter("system.instructions")
+        # Hot-path prebinds: one memory reference sits between every pair of
+        # protocol events, so attribute chains and helper frames here are paid
+        # at event-loop rates.
+        self._blocks_get = cache_controller.blocks.get
+        self._blocks_is_full = cache_controller.blocks.is_full
+        self._transactions = cache_controller.transactions
+        self._writebacks = cache_controller.writebacks
+        self._block_bytes = config.cache_block_bytes
+        self._next_operation = workload.next_operation
+        self._on_complete = workload.on_complete
+        self._schedule_after_fast1 = scheduler.schedule_after_fast1
+        self._perform_label = self.full_label("perform")
+        self._retry_label = self.full_label("retry-busy")
+        self._ctr_misses = stats.counter(self.stat_name("misses"))
+        self._ctr_hits = stats.counter(self.stat_name("hits"))
 
     # ----------------------------------------------------------------- drive
 
@@ -64,66 +79,83 @@ class Sequencer(Component):
         self._fetch_next()
 
     def _fetch_next(self) -> None:
-        operation = self.workload.next_operation(self.node_id, self.now)
+        operation = self._next_operation(self.node_id, self.scheduler.now)
         if operation is None:
             self.done = True
             self.count("finished")
             if self.on_done is not None:
                 self.on_done()
             return
-        self.schedule_fast1(
-            max(0, operation.think_cycles), self._perform, operation, "perform"
+        think = operation.think_cycles
+        self._schedule_after_fast1(
+            think if think > 0 else 0, self._perform, operation, self._perform_label
         )
 
     def _perform(self, operation: MemoryOperation) -> None:
-        address = self.config.block_address(operation.address)
-        # Inline state lookup (equivalent to self.cache.state_of) — this runs
-        # once per memory reference and sits between every pair of events.
-        block = self.cache.blocks.get(address)
+        # Inline block-address and state lookups (equivalent to
+        # config.block_address + cache.state_of) — this runs once per memory
+        # reference and sits between every pair of events.
+        address = operation.address
+        address -= address % self._block_bytes
+        block = self._blocks_get(address)
         state = MOSIState.INVALID if block is None else block.state
         hit = state.can_write if operation.is_write else state.has_valid_data
         if hit:
             self._complete_hit(operation, address)
             return
-        if self.cache.has_outstanding(address):
+        if address in self._transactions or address in self._writebacks:
             # A writeback for this block is still in flight (possible when a
             # workload re-touches a block it just evicted); retry shortly.
-            self.schedule_fast1(10, self._perform, operation, "retry-busy")
+            self._schedule_after_fast1(10, self._perform, operation, self._retry_label)
             return
-        self._maybe_evict()
+        if self._blocks_is_full():
+            self._maybe_evict()
         self.misses += 1
-        self.count("misses")
-        kind = MessageType.GETM if operation.is_write else MessageType.GETS
-        token = self._next_store_token() if operation.is_write else 0
-        self.cache.issue_request(
+        self._ctr_misses._count += 1
+        if operation.is_write:
+            kind = MessageType.GETM
+            # Inlined _next_store_token: one token per (node, store) pair.
+            self._store_tokens += 1
+            token = self.node_id * 1_000_000 + self._store_tokens
+        else:
+            kind = MessageType.GETS
+            token = 0
+        transaction = self.cache.issue_request(
             address,
             kind,
-            callback=lambda txn: self._complete_miss(operation, txn),
+            callback=self._complete_miss,
             store_token=token,
         )
+        # Completion is always at least one network event away, so attaching
+        # the operation after issue_request returns cannot race the callback.
+        transaction.context = operation
 
     # ------------------------------------------------------------ completion
 
     def _complete_hit(self, operation: MemoryOperation, address: int) -> None:
         self.hits += 1
-        self.count("hits")
-        block = self.cache.blocks.get(address)
+        self._ctr_hits._count += 1
+        block = self._blocks_get(address)
         if block is not None:
-            block.last_access_time = self.now
+            block.last_access_time = self.scheduler.now
         self._account(operation, latency=0, was_miss=False)
 
-    def _complete_miss(self, operation: MemoryOperation, transaction: Transaction) -> None:
-        block = self.cache.blocks.get(transaction.address)
+    def _complete_miss(self, transaction: Transaction) -> None:
+        block = self._blocks_get(transaction.address)
+        now = self.scheduler.now
         if block is not None:
-            block.last_access_time = self.now
-        self._account(operation, latency=transaction.latency or 0, was_miss=True)
+            block.last_access_time = now
+        self._account(
+            transaction.context, latency=transaction.latency or 0, was_miss=True
+        )
 
     def _account(self, operation: MemoryOperation, latency: int, was_miss: bool) -> None:
         self.operations_completed += 1
-        self.instructions += operation.instructions
-        self._sys_operations.increment()
-        self._sys_instructions.increment(operation.instructions)
-        self.workload.on_complete(self.node_id, operation, latency, was_miss, self.now)
+        instructions = operation.instructions
+        self.instructions += instructions
+        self._sys_operations._count += 1
+        self._sys_instructions._count += instructions
+        self._on_complete(self.node_id, operation, latency, was_miss, self.scheduler.now)
         self._fetch_next()
 
     # -------------------------------------------------------------- eviction
@@ -144,8 +176,3 @@ class Sequencer(Component):
             self.count("evictions.silent")
             victim.invalidate()
             self.cache.blocks.drop(victim.address)
-
-    def _next_store_token(self) -> int:
-        """A token unique to this (node, store) pair for verification."""
-        self._store_tokens += 1
-        return self.node_id * 1_000_000 + self._store_tokens

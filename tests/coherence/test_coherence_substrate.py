@@ -146,9 +146,9 @@ class TestTransaction:
     def test_marker_and_invalidate_ordering(self):
         txn = Transaction(address=0, kind=MessageType.GETS, requester=0, issue_time=0)
         txn.record_marker(10)
-        txn.invalidate_seqs.append(5)
+        txn.note_invalidate(5)
         assert not txn.invalidated_after()
-        txn.invalidate_seqs.append(15)
+        txn.note_invalidate(15)
         assert txn.invalidated_after()
 
     def test_is_write(self):

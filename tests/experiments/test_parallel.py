@@ -151,3 +151,41 @@ class TestFallbacks:
         for protocol in PROTOCOLS:
             assert [p.x for p in curves[protocol]] == list(TINY.bandwidth_points)
             assert all(p.protocol is protocol for p in curves[protocol])
+
+
+class TestCacheEnvDefault:
+    def test_repro_sweep_cache_env_supplies_default_cache_dir(
+        self, tmp_path, monkeypatch
+    ):
+        """$REPRO_SWEEP_CACHE makes interrupted sweeps resume automatically."""
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path))
+        specs = _specs(protocols=(ProtocolName.SNOOPING,))
+        first = run_sweep(specs)
+        cached_files = list(tmp_path.glob("*.json"))
+        assert cached_files, "sweep points were not memoised in $REPRO_SWEEP_CACHE"
+
+        calls = []
+        original = PointSpec.run
+
+        def counting_run(spec):
+            calls.append(spec)
+            return original(spec)
+
+        monkeypatch.setattr(PointSpec, "run", counting_run)
+        second = run_sweep(specs)
+        assert not calls, "cached points were re-simulated despite the env cache"
+        assert [_key(p) for p in second] == [_key(p) for p in first]
+
+    def test_explicit_cache_dir_wins_over_env(self, tmp_path, monkeypatch):
+        env_dir = tmp_path / "env"
+        explicit_dir = tmp_path / "explicit"
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(env_dir))
+        run_sweep(_specs(protocols=(ProtocolName.SNOOPING,)), cache_dir=explicit_dir)
+        assert list(explicit_dir.glob("*.json"))
+        assert not env_dir.exists()
+
+    def test_unset_env_means_no_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_CACHE", raising=False)
+        from repro.experiments.parallel import default_cache_dir
+
+        assert default_cache_dir() is None

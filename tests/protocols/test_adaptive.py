@@ -3,6 +3,7 @@
 import pytest
 
 from repro.common.config import AdaptiveConfig
+from repro.errors import ConfigurationError
 from repro.protocols.bash.adaptive import (
     BandwidthAdaptiveMechanism,
     utilization_counter_trace,
@@ -102,3 +103,25 @@ class TestDecision:
         for _ in range(10):
             mechanism.should_broadcast()
         assert mechanism.decisions == 10
+
+
+class TestHistoryBounds:
+    def test_history_is_a_ring_buffer_by_default(self):
+        config = AdaptiveConfig(history_capacity=4)
+        mechanism = BandwidthAdaptiveMechanism(config)
+        for index in range(10):
+            mechanism.observe_interval(utilization=0.5, time=index)
+        assert len(mechanism.history) == 4
+        # The ring keeps the most recent samples.
+        assert [sample.time for sample in mechanism.history] == [6, 7, 8, 9]
+
+    def test_full_recording_is_opt_in(self):
+        config = AdaptiveConfig(history_capacity=4, record_full_history=True)
+        mechanism = BandwidthAdaptiveMechanism(config)
+        for index in range(10):
+            mechanism.observe_interval(utilization=0.5, time=index)
+        assert len(mechanism.history) == 10
+
+    def test_history_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveConfig(history_capacity=0)

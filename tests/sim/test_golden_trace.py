@@ -27,15 +27,19 @@ def _load_golden():
 
 
 def _replay(name: str, cfg: dict):
+    extra = {}
+    if "cache_capacity_blocks" in cfg:
+        extra["cache_capacity_blocks"] = cfg["cache_capacity_blocks"]
     config = SystemConfig(
         num_processors=cfg["num_processors"],
-        protocol=ProtocolName(name),
+        protocol=ProtocolName(cfg.get("protocol", name)),
         bandwidth_mb_per_second=cfg["bandwidth_mb_per_second"],
         adaptive=AdaptiveConfig(
             sampling_interval=cfg["sampling_interval"],
             policy_counter_bits=cfg["policy_counter_bits"],
         ),
         random_seed=cfg["random_seed"],
+        **extra,
     )
     workload = LockingMicrobenchmark(
         num_locks=cfg["num_locks"],
@@ -51,7 +55,12 @@ def _replay(name: str, cfg: dict):
     return system, trace
 
 
-@pytest.mark.parametrize("name", ["snooping", "directory", "bash"])
+#: "directory_fastpath" squeezes the cache (2 blocks) so evictions force the
+#: full home-unicast -> marker -> forward pipeline *including* writebacks and
+#: PUT_ACK/PUT_NACK responses through the compiled dispatch tables.
+@pytest.mark.parametrize(
+    "name", ["snooping", "directory", "bash", "directory_fastpath"]
+)
 def test_fired_event_sequence_matches_golden_trace(name):
     golden = _load_golden()[name]
     system, trace = _replay(name, golden["config"])

@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.config import ProtocolName
 from repro.common.stats import StatsRegistry
-from repro.errors import ReproError, SimulationError
+from repro.errors import ProtocolError, ReproError, SimulationError
 from repro.interconnect.message import DestinationUnit, Message, MessageType
 from repro.sim.component import Component
 from repro.sim.scheduler import Scheduler
@@ -39,12 +39,13 @@ class TestNodeDispatch:
         system = self._system()
         node = system.nodes[1]
         seen = {"cache": 0, "memory": 0}
-        node.cache_controller.handle_unordered = lambda msg: seen.__setitem__(
-            "cache", seen["cache"] + 1
+        node.cache_controller.unordered_handlers[MessageType.DATA] = (
+            lambda msg: seen.__setitem__("cache", seen["cache"] + 1)
         )
-        node.memory_controller.handle_unordered = lambda msg: seen.__setitem__(
-            "memory", seen["memory"] + 1
+        node.memory_controller.unordered_handlers[MessageType.WB_DATA] = (
+            lambda msg: seen.__setitem__("memory", seen["memory"] + 1)
         )
+        node.invalidate_dispatch_cache()
         cache_msg = Message(
             msg_type=MessageType.DATA, src=0, dest=1, address=0, size_bytes=72,
             requester=1, dest_unit=DestinationUnit.CACHE,
@@ -61,13 +62,71 @@ class TestNodeDispatch:
         system = self._system()
         node = system.nodes[2]
         calls = []
-        node.cache_controller.handle_ordered = lambda msg: calls.append("cache")
-        node.memory_controller.handle_ordered = lambda msg: calls.append("memory")
+        node.cache_controller.ordered_handlers[MessageType.GETS] = (
+            lambda msg: calls.append("cache")
+        )
+        node.memory_controller.ordered_handlers[MessageType.GETS] = (
+            lambda msg: calls.append("memory")
+        )
+        node.invalidate_dispatch_cache()
+        # Address 128 is homed at node 2, so the home filter admits the
+        # memory-side handler after the cache snoop.
         request = Message(
             msg_type=MessageType.GETS, src=0, address=128, size_bytes=8, requester=0
         )
         node.deliver_ordered(request)
         assert calls == ["cache", "memory"]
+
+    def test_ordered_home_filter_skips_foreign_memory(self):
+        system = self._system()
+        node = system.nodes[2]
+        calls = []
+        node.cache_controller.ordered_handlers[MessageType.GETS] = (
+            lambda msg: calls.append("cache")
+        )
+        node.memory_controller.ordered_handlers[MessageType.GETS] = (
+            lambda msg: calls.append("memory")
+        )
+        node.invalidate_dispatch_cache()
+        # Address 0 is homed at node 0: only the cache controller snoops it.
+        request = Message(
+            msg_type=MessageType.GETS, src=0, address=0, size_bytes=8, requester=0
+        )
+        node.deliver_ordered(request)
+        assert calls == ["cache"]
+
+    def test_invalidate_dispatch_cache_reaches_network_caches(self):
+        system = self._system()
+        scheduler = system.simulator.scheduler
+        node = system.nodes[1]
+
+        def send_data():
+            message = Message(
+                msg_type=MessageType.DATA, src=0, dest=1, address=0, size_bytes=72,
+                requester=1, dest_unit=DestinationUnit.CACHE,
+            )
+            system.interconnect.send_unordered(message)
+            scheduler.run()
+
+        # Prime the network's compiled delivery cache with the real handler.
+        send_data()
+        seen = []
+        node.cache_controller.unordered_handlers[MessageType.DATA] = seen.append
+        node.invalidate_dispatch_cache()
+        send_data()
+        assert len(seen) == 1, "network delivered through a stale compiled entry"
+
+    def test_unregistered_unordered_type_fails_loudly(self):
+        system = self._system()
+        node = system.nodes[1]
+        # A marker is an ordered-network message; arriving point-to-point at
+        # the cache controller must hit the shared rejection path.
+        stray = Message(
+            msg_type=MessageType.MARKER, src=0, dest=1, address=0, size_bytes=8,
+            requester=1, dest_unit=DestinationUnit.CACHE,
+        )
+        with pytest.raises(ProtocolError):
+            node.deliver_unordered(stray)
 
     def test_memory_controller_ignores_foreign_addresses(self):
         system = self._system()
@@ -77,7 +136,7 @@ class TestNodeDispatch:
             msg_type=MessageType.GETS, src=2, address=0, size_bytes=8, requester=2,
             recipients=frozenset(range(4)),
         )
-        system.nodes[1].memory_controller.handle_ordered(request)
+        system.nodes[1].memory_controller.dispatch_ordered(request)
         assert 0 not in system.nodes[1].memory_controller.directory
 
 

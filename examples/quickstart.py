@@ -30,7 +30,16 @@ produce identical results point for point, because every point derives its
 seeds from its own configuration (``scale.seeds``), never from worker
 scheduling.  The cache key hashes the full point configuration (scale,
 protocol, bandwidth, workload, adaptive parameters), so a changed experiment
-never reuses stale results.
+never reuses stale results; completed points are written atomically (temp
+file + rename), so an interrupted run never leaves a corrupt cache entry.
+
+Sweeps are *batched* by default: points sharing a (protocol, processor
+count) run on one constructed system that is ``reset()`` between points —
+with pooled hot objects and the cyclic GC parked — instead of rebuilding
+nodes, dispatch tables and networks per point.  A reset system is
+contractually identical to a fresh one (bit-identical event traces), and
+``run_sweep(..., batch=False)`` forces the rebuild-per-point path if you want
+to verify that on your own configuration.
 """
 
 from __future__ import annotations

@@ -80,6 +80,20 @@ class CacheBlockStore:
             return None
         return min(candidates, key=lambda block: (block.last_access_time, block.address))
 
+    def reset(self, capacity_blocks: Optional[int] = None) -> None:
+        """Drop every block record, optionally adopting a new capacity.
+
+        The record dict is cleared in place — the sequencer prebinds this
+        store's bound methods, which keep reading the same dict object.
+        """
+        if capacity_blocks is not None:
+            if capacity_blocks < 1:
+                raise ProtocolError(
+                    f"capacity must be positive, got {capacity_blocks}"
+                )
+            self.capacity_blocks = capacity_blocks
+        self._blocks.clear()
+
     def compact(self) -> int:
         """Drop Invalid block records to bound memory use; returns count dropped."""
         stale = [

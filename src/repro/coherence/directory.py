@@ -96,6 +96,14 @@ class DirectoryStore:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def clear(self) -> None:
+        """Forget every entry (system reset: all blocks revert to memory-owned).
+
+        In place — controllers prebind :meth:`lookup`, which keeps reading the
+        same underlying dict.
+        """
+        self._entries.clear()
+
     def entries(self) -> Dict[int, DirectoryEntry]:
         """Mapping of address to entry (live view; do not mutate the dict)."""
         return self._entries

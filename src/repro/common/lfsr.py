@@ -40,6 +40,10 @@ class LinearFeedbackShiftRegister:
         self._width = width
         self._mask = mask
         self._taps = _MAXIMAL_TAPS[width]
+        # Tap shifts (width - tap) precomputed: next_bits runs once per BASH
+        # broadcast/unicast decision, so the inner loop avoids re-deriving
+        # them per bit.
+        self._tap_shifts = tuple(width - tap for tap in self._taps)
         self._state = seed
 
     @property
@@ -62,12 +66,25 @@ class LinearFeedbackShiftRegister:
         return output
 
     def next_bits(self, count: int) -> int:
-        """Return ``count`` freshly generated bits packed into an integer."""
+        """Return ``count`` freshly generated bits packed into an integer.
+
+        The shift loop is inlined rather than delegating to :meth:`next_bit`:
+        every BASH request pays one ``policy_counter_bits``-wide draw here.
+        """
         if count <= 0:
             raise ConfigurationError(f"count must be positive, got {count}")
+        state = self._state
+        mask = self._mask
+        tap_shifts = self._tap_shifts
+        top = self._width - 1
         value = 0
         for _ in range(count):
-            value = (value << 1) | self.next_bit()
+            feedback = 0
+            for shift in tap_shifts:
+                feedback ^= (state >> shift) & 1
+            value = (value << 1) | (state & 1)
+            state = ((state >> 1) | (feedback << top)) & mask
+        self._state = state
         return value
 
     def next_int(self, bits: int) -> int:

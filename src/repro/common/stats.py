@@ -9,7 +9,7 @@ the paper reports (miss latency, link utilization, broadcast fraction, ...).
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 
 class Counter:
@@ -155,6 +155,11 @@ class Histogram:
         self._buckets[index] += 1
         self._samples.record(value)
 
+    def reset(self) -> None:
+        """Discard all samples and empty every bucket."""
+        self._buckets = [0] * (self.bucket_count + 1)
+        self._samples.reset()
+
     def percentile(self, fraction: float) -> float:
         """Approximate percentile based on bucket boundaries."""
         if not 0.0 <= fraction <= 1.0:
@@ -177,6 +182,7 @@ class StatsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._means: Dict[str, RunningMean] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._baseline: Optional[Tuple[frozenset, frozenset, frozenset]] = None
 
     def counter(self, name: str) -> Counter:
         """Return (creating if needed) the counter called ``name``."""
@@ -213,9 +219,40 @@ class StatsRegistry:
         data.update(self.means())
         return data
 
+    def mark_baseline(self) -> None:
+        """Record the currently registered statistic names as the baseline set.
+
+        Called once a system finishes construction.  A later :meth:`reset`
+        zeroes baseline statistics in place (prebound handles stay valid) and
+        *removes* statistics registered lazily after the mark, so a reset
+        registry reports exactly the names a freshly constructed system would.
+        """
+        self._baseline = (
+            frozenset(self._counters),
+            frozenset(self._means),
+            frozenset(self._histograms),
+        )
+
     def reset(self) -> None:
-        """Reset every registered statistic in place."""
+        """Reset every registered statistic in place.
+
+        When a baseline has been marked (:meth:`mark_baseline`), statistics
+        created after the mark are dropped from the registry instead of being
+        zeroed, so snapshots of a reset run never carry ghost names from an
+        earlier run.
+        """
+        baseline = self._baseline
+        if baseline is not None:
+            counters, means, histograms = baseline
+            for name in [n for n in self._counters if n not in counters]:
+                del self._counters[name]
+            for name in [n for n in self._means if n not in means]:
+                del self._means[name]
+            for name in [n for n in self._histograms if n not in histograms]:
+                del self._histograms[name]
         for counter in self._counters.values():
             counter.reset()
         for mean in self._means.values():
             mean.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()

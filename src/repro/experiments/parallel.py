@@ -1,8 +1,9 @@
-"""Parallel sweep executor with an on-disk result cache.
+"""Batched parallel sweep executor with an on-disk result cache.
 
 Every figure in the paper's evaluation is an embarrassingly parallel sweep of
 independent ``simulate()`` runs — (protocol, x-value, seed) points that share
-nothing.  This module fans those points across a process pool:
+nothing *semantically* but share almost everything *structurally*.  This
+module fans those points across a process pool in batches:
 
 * :class:`PointSpec` is a picklable description of one sweep point (the same
   arguments :func:`repro.experiments.runner.run_point` takes),
@@ -13,9 +14,21 @@ nothing.  This module fans those points across a process pool:
 * :func:`sweep_curves` groups flat results back into the per-protocol curve
   dictionaries the figure drivers consume.
 
+Execution is *batched*: specs are chunked by their batch key — (protocol,
+processor count) — and each chunk runs on a
+:class:`~repro.experiments.batch.BatchRunner` that keeps one constructed
+system per key, resets it between points, and pools hot allocations in a
+shared :class:`~repro.sim.arena.SimulationArena`.  Worker processes hold one
+runner for their whole life, so even chunks arriving later skip system
+construction.  Completed chunks stream back (and into the cache) as they
+finish rather than at sweep end.
+
 Determinism: each point is seeded from its own spec (``scale.seeds``), never
-from worker identity or scheduling order, so ``run_sweep(workers=1)`` and
-``run_sweep(workers=N)`` produce identical results point for point.
+from worker identity, scheduling order, or the reset history of the system it
+runs on — a reset system is contractually indistinguishable from a fresh one
+(see the reset-equivalence tests), so ``run_sweep(workers=1)`` and
+``run_sweep(workers=N)`` produce identical results point for point, as does
+``batch=False``.
 
 The executor falls back to serial execution when the requested worker count
 is ``<= 1``, when a spec is not picklable (e.g. an ad-hoc workload closure),
@@ -24,17 +37,20 @@ or when the platform refuses to start a process pool (restricted sandboxes).
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
 import os
 import pickle
-from dataclasses import dataclass, field
+import tempfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..common.config import ProtocolName
 from ..system.multiprocessor import RunResult
+from .batch import BatchRunner, spec_batch_key
 from .runner import ExperimentScale, SweepPoint, run_point
 
 #: Bump when the simulation core changes in a way that invalidates cached
@@ -173,14 +189,71 @@ class SweepCache:
             return None
 
     def store(self, key: str, point: SweepPoint) -> None:
-        tmp = self._path(key).with_suffix(".tmp")
-        tmp.write_text(json.dumps(_point_to_json(point)))
-        tmp.replace(self._path(key))
+        """Atomically persist one completed point.
+
+        The JSON is written to a uniquely named temp file in the cache
+        directory and ``os.replace``-d into place, so an interrupted (or
+        concurrent) PAPER-scale run can never leave a torn or half-written
+        cache entry — the entry either exists complete or not at all.
+        """
+        payload = json.dumps(_point_to_json(point))
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{key[:16]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            raise
 
 
 def _run_spec(spec: PointSpec) -> SweepPoint:
     """Module-level worker entry point (must be picklable itself)."""
     return spec.run()
+
+
+#: Per-process batch runner: worker processes live for the whole pool, so one
+#: runner per process lets late-arriving chunks reuse systems (and warm object
+#: pools) built by earlier chunks with the same batch key.
+_PROCESS_RUNNER: Optional[BatchRunner] = None
+
+
+def _process_runner() -> BatchRunner:
+    global _PROCESS_RUNNER
+    if _PROCESS_RUNNER is None:
+        _PROCESS_RUNNER = BatchRunner()
+    return _PROCESS_RUNNER
+
+
+def _run_chunk(specs: List[PointSpec]) -> List[SweepPoint]:
+    """Module-level worker entry point for one batched chunk of specs."""
+    return _process_runner().run_specs(specs)
+
+
+def _chunk_pending(
+    specs: Sequence[PointSpec], indices: List[int], workers: int
+) -> List[List[int]]:
+    """Group pending indices by batch key, then slice for load balance.
+
+    Keeping a chunk within one batch key means the worker that runs it builds
+    (or reuses) exactly one system; slicing keys into roughly
+    ``total / workers``-sized pieces keeps all workers busy even when one key
+    dominates the sweep.
+    """
+    by_key: Dict[object, List[int]] = {}
+    for index in indices:
+        by_key.setdefault(spec_batch_key(specs[index]), []).append(index)
+    chunk_size = max(1, -(-len(indices) // max(1, workers)))
+    chunks: List[List[int]] = []
+    for group in by_key.values():
+        for start in range(0, len(group), chunk_size):
+            chunks.append(group[start : start + chunk_size])
+    return chunks
 
 
 # ------------------------------------------------------------------ executor
@@ -189,7 +262,8 @@ def _run_spec(spec: PointSpec) -> SweepPoint:
 def run_sweep(
     specs: Sequence[PointSpec],
     workers: Optional[int] = None,
-    cache_dir: Optional[os.PathLike] = None,
+    cache_dir: Union[os.PathLike, str, bool, None] = None,
+    batch: bool = True,
 ) -> List[SweepPoint]:
     """Run every spec and return results in input order.
 
@@ -198,14 +272,27 @@ def run_sweep(
     count).  ``cache_dir`` enables the on-disk result cache, so repeated
     figure runs skip completed points; when it is not given, the
     $REPRO_SWEEP_CACHE environment variable supplies the default, so
-    interrupted PAPER-scale sweeps resume automatically.
+    interrupted PAPER-scale sweeps resume automatically — pass
+    ``cache_dir=False`` to disable caching outright, env var included
+    (benchmarks that *time* sweeps must actually run them).  Completed
+    points are persisted as they finish, not at sweep end.
+
+    ``batch=True`` (the default) executes points on pooled, resettable
+    systems — one construction per (protocol, processor count) per worker —
+    which is wall-time equivalent work to ``batch=False``'s
+    build-per-point path but substantially faster; results are identical
+    either way.
     """
     if workers == 0:
         workers = available_workers()
     workers = 1 if workers is None else max(1, workers)
 
-    if cache_dir is None:
+    if cache_dir is None or cache_dir is True:
+        # True is the symmetric spelling of "use the default cache" (False
+        # disables it); both resolve through $REPRO_SWEEP_CACHE.
         cache_dir = default_cache_dir()
+    elif cache_dir is False:
+        cache_dir = None
     cache = SweepCache(Path(cache_dir)) if cache_dir is not None else None
     results: List[Optional[SweepPoint]] = [None] * len(specs)
     pending: List[int] = []
@@ -218,6 +305,12 @@ def run_sweep(
                 continue
         pending.append(index)
 
+    def finish(index: int, point: SweepPoint) -> None:
+        """Record one computed point and stream it into the cache."""
+        results[index] = point
+        if cache is not None and specs[index].is_portable():
+            cache.store(specs[index].cache_key(), point)
+
     parallel_indices = [
         i for i in pending if workers > 1 and specs[i].is_portable()
     ]
@@ -226,14 +319,26 @@ def run_sweep(
 
     if parallel_indices:
         try:
-            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures import ProcessPoolExecutor, as_completed
 
-            with ProcessPoolExecutor(max_workers=min(workers, len(parallel_indices))) as pool:
-                for index, point in zip(
-                    parallel_indices,
-                    pool.map(_run_spec, [specs[i] for i in parallel_indices]),
-                ):
-                    results[index] = point
+            max_workers = min(workers, len(parallel_indices))
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                if batch:
+                    chunks = _chunk_pending(specs, parallel_indices, max_workers)
+                    futures = {
+                        pool.submit(_run_chunk, [specs[i] for i in chunk]): chunk
+                        for chunk in chunks
+                    }
+                else:
+                    futures = {
+                        pool.submit(_run_spec, specs[i]): [i]
+                        for i in parallel_indices
+                    }
+                for future in as_completed(futures):
+                    chunk = futures[future]
+                    points = future.result() if batch else [future.result()]
+                    for index, point in zip(chunk, points):
+                        finish(index, point)
         except (OSError, ImportError, RuntimeError, pickle.PicklingError, AttributeError, TypeError):
             # Restricted environments (no semaphores / fork) and specs that
             # turn out not to pickle fall back to the serial path (points the
@@ -242,15 +347,22 @@ def run_sweep(
             # cannot mask it; results are identical either way.
             serial_indices = sorted(parallel_set.union(serial_indices))
 
-    for index in serial_indices:
-        if results[index] is None:
-            results[index] = specs[index].run()
-
-    if cache is not None:
-        for index in pending:
-            spec = specs[index]
-            if spec.is_portable() and results[index] is not None:
-                cache.store(spec.cache_key(), results[index])
+    if serial_indices:
+        runner = BatchRunner() if batch else None
+        guard = (
+            runner.arena.runtime()
+            if runner is not None and runner.arena is not None
+            else contextlib.nullcontext()
+        )
+        with guard:
+            for index in serial_indices:
+                if results[index] is None:
+                    point = (
+                        runner.run_spec(specs[index])
+                        if runner is not None
+                        else specs[index].run()
+                    )
+                    finish(index, point)
 
     return results  # type: ignore[return-value]
 

@@ -126,19 +126,17 @@ def microbenchmark_config(
     )
 
 
-def run_point(
+def point_configs(
     scale: ExperimentScale,
     protocol: ProtocolName,
     bandwidth: float,
-    workload_factory,
-    x_value: Optional[float] = None,
     num_processors: Optional[int] = None,
     threshold: float = 0.75,
     broadcast_cost_factor: float = 1.0,
     cache_capacity_blocks: Optional[int] = None,
-) -> SweepPoint:
-    """Run one sweep point for one protocol, averaging over the scale's seeds."""
-    results: List[RunResult] = []
+) -> List[SystemConfig]:
+    """One :class:`SystemConfig` per seed of the scale, for one sweep point."""
+    configs: List[SystemConfig] = []
     for seed in scale.seeds:
         config = microbenchmark_config(
             scale,
@@ -151,12 +149,18 @@ def run_point(
         )
         if cache_capacity_blocks is not None:
             config = replace(config, cache_capacity_blocks=cache_capacity_blocks)
-        workload = workload_factory(seed)
-        results.append(simulate(config, workload))
+        configs.append(config)
+    return configs
+
+
+def aggregate_point(
+    protocol: ProtocolName, x: float, results: List[RunResult]
+) -> SweepPoint:
+    """Average per-seed :class:`RunResult`\\ s into one :class:`SweepPoint`."""
     count = len(results)
     return SweepPoint(
         protocol=protocol,
-        x=bandwidth if x_value is None else x_value,
+        x=x,
         performance=sum(r.performance for r in results) / count,
         performance_per_processor=sum(
             r.performance_per_processor for r in results
@@ -168,6 +172,38 @@ def run_point(
         retries=int(sum(r.retries for r in results) / count),
         results=results,
     )
+
+
+def run_point(
+    scale: ExperimentScale,
+    protocol: ProtocolName,
+    bandwidth: float,
+    workload_factory,
+    x_value: Optional[float] = None,
+    num_processors: Optional[int] = None,
+    threshold: float = 0.75,
+    broadcast_cost_factor: float = 1.0,
+    cache_capacity_blocks: Optional[int] = None,
+) -> SweepPoint:
+    """Run one sweep point for one protocol, averaging over the scale's seeds.
+
+    Builds a fresh system per seed.  The batched sweep executor
+    (:class:`repro.experiments.batch.BatchRunner`) produces identical points
+    while reusing one constructed system per (protocol, processor count).
+    """
+    configs = point_configs(
+        scale,
+        protocol,
+        bandwidth,
+        num_processors=num_processors,
+        threshold=threshold,
+        broadcast_cost_factor=broadcast_cost_factor,
+        cache_capacity_blocks=cache_capacity_blocks,
+    )
+    results = [
+        simulate(config, workload_factory(config.random_seed)) for config in configs
+    ]
+    return aggregate_point(protocol, bandwidth if x_value is None else x_value, results)
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import NetworkError
 
@@ -130,8 +130,38 @@ class EndpointLink:
         self._bytes += size_bytes
         return finish
 
+    def reset(self, bytes_per_cycle: Optional[float] = None) -> None:
+        """Re-arm the link for a fresh run, optionally at a new bandwidth.
+
+        All occupancy history is cleared in place; the memoised occupancy
+        table is only invalidated when the bandwidth actually changes (it is
+        keyed by message size, which does not vary across sweep points).
+        """
+        if bytes_per_cycle is not None and bytes_per_cycle != self.bytes_per_cycle:
+            if bytes_per_cycle <= 0:
+                raise NetworkError(
+                    f"link {self.name!r} bandwidth must be positive, "
+                    f"got {bytes_per_cycle}"
+                )
+            self.bytes_per_cycle = bytes_per_cycle
+            self._occupancy_cache.clear()
+        self._busy_until = 0
+        self._busy_total = 0
+        self._messages = 0
+        self._bytes = 0
+        self._segment_starts.clear()
+        self._segment_finishes.clear()
+        self._segment_prefix.clear()
+        self._query_memo = (-1, 0)
+        self._query_memo2 = (-1, 0)
+
     def busy_time_up_to(self, time: int) -> int:
         """Total busy cycles in ``[0, time)``, exact for any query time."""
+        # O(1) fast path: once every transfer has finished, the answer is the
+        # running total — the common case for the adaptive mechanism's
+        # "utilization up to now" queries on a link that has gone idle.
+        if time >= self._busy_until:
+            return self._busy_total
         memo = self._query_memo
         if memo[0] == time:
             return memo[1]
@@ -172,6 +202,11 @@ class LinkPair:
         self.outgoing = EndpointLink(f"node{node_id}.out", bytes_per_cycle)
         self.incoming = EndpointLink(f"node{node_id}.in", bytes_per_cycle)
 
+    def reset(self, bytes_per_cycle: Optional[float] = None) -> None:
+        """Re-arm both directions, optionally at a new bandwidth."""
+        self.outgoing.reset(bytes_per_cycle)
+        self.incoming.reset(bytes_per_cycle)
+
     def utilization(self, window_start: int, window_end: int) -> float:
         """Local utilization estimate: the busier of the two directions.
 
@@ -179,11 +214,26 @@ class LinkPair:
         interconnection network"; taking the bottleneck direction makes the
         estimate sensitive both to broadcast floods (incoming) and to data
         response pressure (outgoing).
+
+        Computed as ``min(1.0, max(busy_in, busy_out) / window)`` — identical
+        to taking the max of the two per-direction utilizations (same
+        numerator and denominator reach the one division), with half the
+        calls; the adaptive mechanism queries this once per node per sampling
+        interval.
         """
-        return max(
-            self.incoming.utilization(window_start, window_end),
-            self.outgoing.utilization(window_start, window_end),
+        if window_end <= window_start:
+            return 0.0
+        incoming = self.incoming
+        outgoing = self.outgoing
+        busy_in = incoming.busy_time_up_to(window_end) - incoming.busy_time_up_to(
+            window_start
         )
+        busy_out = outgoing.busy_time_up_to(window_end) - outgoing.busy_time_up_to(
+            window_start
+        )
+        busy = busy_in if busy_in > busy_out else busy_out
+        utilization = busy / (window_end - window_start)
+        return utilization if utilization < 1.0 else 1.0
 
     def busy_time_up_to(self, time: int) -> int:
         """Bottleneck-direction busy cycles in ``[0, time)``."""

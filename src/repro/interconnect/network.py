@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable
+from typing import Dict, FrozenSet, Iterable
 
 from ..common.config import SystemConfig
 from ..common.stats import StatsRegistry
@@ -58,6 +58,27 @@ class Interconnect:
     def all_nodes(self) -> FrozenSet[int]:
         """The full set of node identifiers (a broadcast destination)."""
         return self._all_nodes
+
+    def reset(self, config: SystemConfig) -> None:
+        """Re-arm the whole interconnect for a fresh run under ``config``.
+
+        The node count must be unchanged (that is a structural property of the
+        built system); bandwidth and broadcast cost factor may differ — the
+        links pick up the new ``bytes_per_cycle`` and the ordered network
+        recompiles its arrival closures only when the cost factor actually
+        changed.
+        """
+        if config.num_processors != self.num_nodes:
+            raise NetworkError(
+                f"cannot reset a {self.num_nodes}-node interconnect to "
+                f"{config.num_processors} nodes; rebuild instead"
+            )
+        self.config = config
+        bytes_per_cycle = config.bytes_per_cycle
+        for pair in self.links.values():
+            pair.reset(bytes_per_cycle)
+        self.ordered.reset(config.broadcast_cost_factor)
+        self.unordered.reset()
 
     def register_node(
         self,

@@ -83,13 +83,38 @@ class TotallyOrderedNetwork:
         ] = {}
         # Recipient sets recur (all-nodes broadcasts, {home, requester}
         # dualcasts), and frozensets cache their hash, so memoising the sorted
-        # order avoids a sort per fan-out.
+        # order avoids a sort per fan-out — and the fully resolved fan-out
+        # list (one (callback, label) pair per recipient, in delivery order)
+        # avoids a per-recipient tuple-key probe into ``_arrive_entries``.
         self._sorted_recipients: Dict[FrozenSet[int], Tuple[int, ...]] = {}
+        self._fanout_memo: Dict[object, Tuple[Tuple[Callable, str], ...]] = {}
 
     @property
     def next_order_sequence(self) -> int:
         """The sequence number the next ordered message will receive."""
         return self._order_sequence
+
+    def reset(self, broadcast_cost_factor: Optional[float] = None) -> None:
+        """Re-arm the network for a fresh run.
+
+        The global order restarts from sequence zero.  Compiled arrival
+        closures are kept — they capture only objects that survive a system
+        reset (links, scheduler, delivery entries) — unless the broadcast
+        cost factor changes, which is baked into each closure and forces a
+        recompile.
+        """
+        self._order_sequence = 0
+        if (
+            broadcast_cost_factor is not None
+            and broadcast_cost_factor != self.broadcast_cost_factor
+        ):
+            self.broadcast_cost_factor = broadcast_cost_factor
+            self._invalidate_compiled()
+
+    def _invalidate_compiled(self) -> None:
+        """Drop compiled arrival closures and the fan-out lists resolved from them."""
+        self._arrive_entries.clear()
+        self._fanout_memo.clear()
 
     def register(self, node_id: int, handler: OrderedHandler) -> None:
         """Register a plain delivery callable for ``node_id``."""
@@ -97,7 +122,7 @@ class TotallyOrderedNetwork:
             raise NetworkError(f"node {node_id} has no endpoint link")
         self._handlers[node_id] = handler
         self._dispatchers.pop(node_id, None)
-        self._arrive_entries.clear()
+        self._invalidate_compiled()
 
     def register_dispatcher(self, node_id: int, dispatcher: object) -> None:
         """Register a node whose compiled dispatch entries are indexed directly.
@@ -109,12 +134,12 @@ class TotallyOrderedNetwork:
             raise NetworkError(f"node {node_id} has no endpoint link")
         self._dispatchers[node_id] = dispatcher
         self._handlers.pop(node_id, None)
-        self._arrive_entries.clear()
+        self._invalidate_compiled()
         # Let the dispatcher invalidate our compiled copies of its entries
         # (Node.invalidate_dispatch_cache calls these after table swaps).
         invalidators = getattr(dispatcher, "dispatch_cache_invalidators", None)
         if invalidators is not None:
-            invalidators.append(self._arrive_entries.clear)
+            invalidators.append(self._invalidate_compiled)
 
     def send(self, message: Message, recipients: FrozenSet[int]) -> None:
         """Inject ``message`` destined for ``recipients`` (which may be all nodes)."""
@@ -145,32 +170,52 @@ class TotallyOrderedNetwork:
             self._inject_labels[msg_type] = label
         sequence = scheduler._sequence
         scheduler._sequence = sequence + 1
-        _heappush(
-            scheduler._queue,
-            (injection_time, sequence, self._enter_switch_callback, label, message),
-        )
+        entry = (injection_time, sequence, self._enter_switch_callback, label, message)
+        buckets = scheduler._buckets
+        bucket = buckets.get(injection_time)
+        if bucket is None:
+            buckets[injection_time] = [entry]
+            _heappush(scheduler._times, injection_time)
+        else:
+            bucket.append(entry)
 
     def _enter_switch(self, message: Message) -> None:
         """Assign the total-order sequence number and fan the message out."""
         message.order_seq = self._order_sequence
         self._order_sequence += 1
         scheduler = self.scheduler
-        queue = scheduler._queue
         exit_time = scheduler.now + self.traversal_cycles
         msg_type = message.msg_type
-        entries = self._arrive_entries
         recipients = message.recipients
-        order = self._sorted_recipients.get(recipients)
-        if order is None:
-            order = tuple(sorted(recipients))
-            self._sorted_recipients[recipients] = order
-        for node_id in order:
-            entry = entries.get((msg_type, node_id))
-            if entry is None:
-                entry = self._compile_arrival(msg_type, node_id)
-            sequence = scheduler._sequence
-            scheduler._sequence = sequence + 1
-            _heappush(queue, (exit_time, sequence, entry[1], entry[0], message))
+        fanout = self._fanout_memo.get((msg_type, recipients))
+        if fanout is None:
+            order = self._sorted_recipients.get(recipients)
+            if order is None:
+                order = tuple(sorted(recipients))
+                self._sorted_recipients[recipients] = order
+            entries = self._arrive_entries
+            resolved = []
+            for node_id in order:
+                entry = entries.get((msg_type, node_id))
+                if entry is None:
+                    entry = self._compile_arrival(msg_type, node_id)
+                resolved.append((entry[1], entry[0]))
+            fanout = tuple(resolved)
+            self._fanout_memo[(msg_type, recipients)] = fanout
+        # All recipients arrive at the same cycle: resolve the bucket once and
+        # append the whole fan-out to it — a broadcast costs one dict probe
+        # plus N list appends instead of N heap pushes.
+        buckets = scheduler._buckets
+        bucket = buckets.get(exit_time)
+        if bucket is None:
+            bucket = buckets[exit_time] = []
+            _heappush(scheduler._times, exit_time)
+        append = bucket.append
+        sequence = scheduler._sequence
+        for callback, label in fanout:
+            append((exit_time, sequence, callback, label, message))
+            sequence += 1
+        scheduler._sequence = sequence
 
     def _compile_arrival(
         self, msg_type: MessageType, node_id: int
@@ -187,7 +232,9 @@ class TotallyOrderedNetwork:
         deliver_label = f"ordered-deliver:{msg_type}:n{node_id}"
         in_link = self.links[node_id].incoming
         scheduler = self.scheduler
-        queue = scheduler._queue
+        buckets = scheduler._buckets
+        buckets_get = buckets.get
+        times = scheduler._times
         transmit = in_link.transmit
         broadcast_cost = self.broadcast_cost_factor
 
@@ -197,6 +244,51 @@ class TotallyOrderedNetwork:
                 raise NetworkError(
                     f"no ordered handler registered for node {node_id}"
                 )
+
+        elif broadcast_cost == 1.0:
+            # Unit broadcast cost (the default): every message on this link
+            # costs occupancy_cycles(size), so EndpointLink.transmit is
+            # inlined — same statements, no call frame.  A broadcast fan-out
+            # runs this once per recipient, making it the hottest code in the
+            # repository.  The closure reads occupancy through the link's
+            # memo dict (cleared when a reset changes the bandwidth) and
+            # mutates the link's segment lists in place (reset clears them in
+            # place too), so it stays valid across system resets; a changed
+            # broadcast cost factor recompiles it (Interconnect.reset).
+            occupancy = in_link._occupancy_cache
+            occupancy_get = occupancy.get
+            starts = in_link._segment_starts
+            finishes = in_link._segment_finishes
+            prefix = in_link._segment_prefix
+
+            def arrive(message: Message) -> None:
+                size = message.size_bytes
+                cycles = occupancy_get(size)
+                if cycles is None:
+                    cycles = occupancy[size] = in_link.occupancy_cycles(size)
+                now = scheduler.now
+                busy_until = in_link._busy_until
+                start = now if now > busy_until else busy_until
+                done = start + cycles
+                if finishes and start <= finishes[-1]:
+                    finishes[-1] = done
+                else:
+                    starts.append(start)
+                    finishes.append(done)
+                    prefix.append(in_link._busy_total)
+                in_link._busy_until = done
+                in_link._busy_total += cycles
+                in_link._messages += 1
+                in_link._bytes += size
+                sequence = scheduler._sequence
+                scheduler._sequence = sequence + 1
+                entry = (done, sequence, deliver, deliver_label, message)
+                bucket = buckets_get(done)
+                if bucket is None:
+                    buckets[done] = [entry]
+                    _heappush(times, done)
+                else:
+                    bucket.append(entry)
 
         else:
 
@@ -208,7 +300,13 @@ class TotallyOrderedNetwork:
                 )
                 sequence = scheduler._sequence
                 scheduler._sequence = sequence + 1
-                _heappush(queue, (done, sequence, deliver, deliver_label, message))
+                entry = (done, sequence, deliver, deliver_label, message)
+                bucket = buckets_get(done)
+                if bucket is None:
+                    buckets[done] = [entry]
+                    _heappush(times, done)
+                else:
+                    bucket.append(entry)
 
         entry = (arrive_label, arrive)
         self._arrive_entries[(msg_type, node_id)] = entry

@@ -66,6 +66,16 @@ class UnorderedNetwork:
             Tuple[str, Callable[[Message], None], Callable],
         ] = {}
 
+    def reset(self) -> None:
+        """Re-arm the network for a fresh run.
+
+        The unordered network keeps no per-run state of its own (the links are
+        reset by the interconnect, the message counter lives in the stats
+        registry), and its compiled injection/delivery closures capture only
+        objects that survive a system reset — so this is deliberately empty
+        and exists to keep the reset protocol uniform across both networks.
+        """
+
     def register(self, node_id: int, handler: UnorderedHandler) -> None:
         """Register a plain delivery callable for ``node_id``."""
         if node_id not in self.links:
@@ -113,9 +123,14 @@ class UnorderedNetwork:
             entry = self._compile_injection(message.msg_type)
         sequence = scheduler._sequence
         scheduler._sequence = sequence + 1
-        _heappush(
-            scheduler._queue, (injection_time, sequence, entry[1], entry[0], message)
-        )
+        item = (injection_time, sequence, entry[1], entry[0], message)
+        buckets = scheduler._buckets
+        bucket = buckets.get(injection_time)
+        if bucket is None:
+            buckets[injection_time] = [item]
+            _heappush(scheduler._times, injection_time)
+        else:
+            bucket.append(item)
 
     def _compile_injection(
         self, msg_type: MessageType
@@ -124,18 +139,24 @@ class UnorderedNetwork:
         inject_label = f"unordered-inject:{msg_type}"
         arrive_label = f"unordered-arrive:{msg_type}"
         scheduler = self.scheduler
-        queue = scheduler._queue
+        buckets = scheduler._buckets
+        buckets_get = buckets.get
+        times = scheduler._times
         traversal = self.traversal_cycles
         arrive = self._arrive
 
         def traverse(message: Message) -> None:
             """Cross the switch fabric and head for the destination's link."""
+            time = scheduler.now + traversal
             sequence = scheduler._sequence
             scheduler._sequence = sequence + 1
-            _heappush(
-                queue,
-                (scheduler.now + traversal, sequence, arrive, arrive_label, message),
-            )
+            entry = (time, sequence, arrive, arrive_label, message)
+            bucket = buckets_get(time)
+            if bucket is None:
+                buckets[time] = [entry]
+                _heappush(times, time)
+            else:
+                bucket.append(entry)
 
         entry = (inject_label, traverse)
         self._inject_entries[msg_type] = entry
@@ -150,21 +171,85 @@ class UnorderedNetwork:
             entry = self._compile_delivery(
                 message.msg_type, message.dest, message.dest_unit
             )
-        scheduler = self.scheduler
-        done = entry[2](scheduler.now, message.size_bytes)
-        sequence = scheduler._sequence
-        scheduler._sequence = sequence + 1
-        _heappush(scheduler._queue, (done, sequence, entry[1], entry[0], message))
+        entry[2](message)
 
     def _compile_delivery(
         self, msg_type: MessageType, dest: int, dest_unit: DestinationUnit
-    ) -> Tuple[str, Callable[[Message], None], Callable]:
-        """Resolve (deliver label, delivery entry, incoming transmit) once."""
+    ) -> Tuple[str, Callable[[Message], None], Callable[[Message], None]]:
+        """Resolve (deliver label, delivery entry, occupy-and-schedule) once.
+
+        The third element is the hot half of :meth:`_arrive`: a closure that
+        inlines the destination's incoming-link ``transmit`` (unordered
+        messages always carry unit cost) and pushes the delivery event's
+        bucket entry, with every object prebound.  Its prebound dicts and
+        lists are the ones system resets clear *in place*, so compiled
+        closures survive resets.
+
+        When a :class:`~repro.sim.arena.SimulationArena` is attached to the
+        scheduler, the delivery callable is wrapped to release the message to
+        the arena's free list after the handler returns: a point-to-point
+        message has exactly one delivery and no protocol handler retains it
+        (ordered messages, which *can* be parked in deferred/held queues, are
+        never recycled).
+        """
         deliver = self._resolve_delivery(msg_type, dest, dest_unit)
         if deliver is None:
             raise NetworkError(f"no unordered handler registered for node {dest}")
+        arena = getattr(self.scheduler, "arena", None)
+        if arena is not None:
+            release = arena.release_message
+
+            def deliver_and_release(
+                message: Message, _deliver=deliver, _release=release
+            ) -> None:
+                _deliver(message)
+                _release(message)
+
+            deliver = deliver_and_release
         label = f"unordered-deliver:{msg_type}:n{dest}"
-        entry = (label, deliver, self.links[dest].incoming.transmit)
+        in_link = self.links[dest].incoming
+        scheduler = self.scheduler
+        sched_buckets = scheduler._buckets
+        sched_buckets_get = sched_buckets.get
+        sched_times = scheduler._times
+        occupancy = in_link._occupancy_cache
+        occupancy_get = occupancy.get
+        starts = in_link._segment_starts
+        finishes = in_link._segment_finishes
+        prefix = in_link._segment_prefix
+
+        def occupy_and_schedule(message: Message) -> None:
+            # [Inlined EndpointLink.transmit, unit cost — see the ordered
+            # network's arrive closure for the same pattern.]
+            size = message.size_bytes
+            cycles = occupancy_get(size)
+            if cycles is None:
+                cycles = occupancy[size] = in_link.occupancy_cycles(size)
+            now = scheduler.now
+            busy_until = in_link._busy_until
+            start = now if now > busy_until else busy_until
+            done = start + cycles
+            if finishes and start <= finishes[-1]:
+                finishes[-1] = done
+            else:
+                starts.append(start)
+                finishes.append(done)
+                prefix.append(in_link._busy_total)
+            in_link._busy_until = done
+            in_link._busy_total += cycles
+            in_link._messages += 1
+            in_link._bytes += size
+            sequence = scheduler._sequence
+            scheduler._sequence = sequence + 1
+            item = (done, sequence, deliver, label, message)
+            bucket = sched_buckets_get(done)
+            if bucket is None:
+                sched_buckets[done] = [item]
+                _heappush(sched_times, done)
+            else:
+                bucket.append(item)
+
+        entry = (label, deliver, occupy_and_schedule)
         self._deliver_entries[(msg_type, dest, dest_unit)] = entry
         return entry
 

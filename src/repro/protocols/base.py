@@ -72,8 +72,30 @@ class ProtocolController(Component):
         latency = config.latency
         self._dram_latency = latency.dram_access
         self._cache_response_latency = latency.cache_response
-        # Home interleaving is fixed per run; memoise per block address.
+        # Pooled allocation: when a SimulationArena rides on the scheduler,
+        # unordered (single-delivery) messages and completed transactions are
+        # recycled through its free lists; without one these prebinds are the
+        # plain constructors.
+        arena = getattr(scheduler, "arena", None)
+        self._arena = arena
+        self._new_message = Message if arena is None else arena.message
+        # Home interleaving is fixed per (node count, block size), both of
+        # which are structural — the memo survives system resets.
         self._home_memo: Dict[int, int] = {}
+
+    def reset_state(self, config: SystemConfig) -> None:
+        """Re-arm this controller for a fresh run under ``config``.
+
+        Structural parameters (protocol, node count, message sizes, block
+        size) must match the constructed system; per-point knobs (bandwidth,
+        adaptive parameters, cache capacity, seed) may differ.  Subclasses
+        extend this with their own mutable state.
+        """
+        self.config = config
+        latency = config.latency
+        self._dram_latency = latency.dram_access
+        self._cache_response_latency = latency.cache_response
+        self.reset_stat_caches()
 
     # ------------------------------------------------------ generic dispatch
 
@@ -131,6 +153,19 @@ class CacheControllerBase(ProtocolController):
         self._system_miss_latency = stat.running_mean("system.miss_latency")
         self._blocks_get = self.blocks.get
         self._blocks_lookup = self.blocks.lookup
+        arena = self._arena
+        self._new_transaction = Transaction if arena is None else arena.transaction
+
+    def reset_state(self, config: SystemConfig) -> None:
+        """Reset cache-side state: blocks, MSHRs, and in-flight writebacks.
+
+        The MSHR dicts are cleared in place — the sequencer prebinds direct
+        references to them.
+        """
+        super().reset_state(config)
+        self.blocks.reset(config.cache_capacity_blocks)
+        self.transactions.clear()
+        self.writebacks.clear()
 
     # ------------------------------------------------------------------ API
 
@@ -176,7 +211,7 @@ class CacheControllerBase(ProtocolController):
             raise ProtocolError(
                 f"GETM issued for address 0x{address:x} already writable ({state})"
             )
-        transaction = Transaction(
+        transaction = self._new_transaction(
             address=address,
             kind=kind,
             requester=self.node_id,
@@ -207,7 +242,7 @@ class CacheControllerBase(ProtocolController):
                 f"node {self.node_id} already has a writeback outstanding for "
                 f"address 0x{address:x}"
             )
-        transaction = Transaction(
+        transaction = self._new_transaction(
             address=address,
             kind=MessageType.PUTM,
             requester=self.node_id,
@@ -244,7 +279,7 @@ class CacheControllerBase(ProtocolController):
         latency = (
             self._dram_latency if from_memory else self._cache_response_latency
         )
-        message = Message(
+        message = self._new_message(
             msg_type=MessageType.DATA,
             src=self.node_id,
             dest=dest,
@@ -276,6 +311,12 @@ class CacheControllerBase(ProtocolController):
             self._system_miss_latency.record(latency)
         if transaction.completion_callback is not None:
             transaction.completion_callback(transaction)
+        # The MSHR entry is popped and the issuer notified: no live reference
+        # outlives the enclosing handler, so the arena may recycle the object.
+        # (Re-acquisition cannot happen within this call stack — the next
+        # issue_request always runs from a later scheduled event.)
+        if self._arena is not None:
+            self._arena.release_transaction(transaction)
 
 
 class MemoryControllerBase(ProtocolController):
@@ -313,11 +354,16 @@ class MemoryControllerBase(ProtocolController):
             self._home_cache[address] = cached
         return cached
 
+    def reset_state(self, config: SystemConfig) -> None:
+        """Reset memory-side state: every directory entry reverts to memory-owned."""
+        super().reset_state(config)
+        self.directory.clear()
+
     def _send_data(
         self, address: int, dest: int, data_token: int, transaction_id: int
     ) -> None:
         """Send a data response after the DRAM access latency."""
-        message = Message(
+        message = self._new_message(
             msg_type=MessageType.DATA,
             src=self.node_id,
             dest=dest,
@@ -344,7 +390,7 @@ class MemoryControllerBase(ProtocolController):
         delay: int = 0,
     ) -> None:
         """Send a small control message (ack, nack, marker) point-to-point."""
-        message = Message(
+        message = self._new_message(
             msg_type=msg_type,
             src=self.node_id,
             dest=dest,

@@ -32,9 +32,14 @@ from ...common.counters import SignedSaturatingCounter, UnsignedSaturatingCounte
 from ...common.lfsr import LinearFeedbackShiftRegister
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class AdaptiveSample:
-    """Snapshot of one sampling-interval update (useful for tests and plots)."""
+    """Snapshot of one sampling-interval update (useful for tests and plots).
+
+    Treat instances as immutable.  Not ``frozen=True``: one is allocated per
+    node per sampling interval, and a frozen dataclass pays an
+    ``object.__setattr__`` call per field where this pays a plain store.
+    """
 
     time: int
     utilization: float
@@ -47,6 +52,8 @@ class BandwidthAdaptiveMechanism:
     """Per-processor broadcast/unicast policy driven by local link utilization."""
 
     def __init__(self, config: AdaptiveConfig, lfsr_seed: Optional[int] = None) -> None:
+        seed = config.lfsr_seed if lfsr_seed is None else lfsr_seed
+        self._seed = seed
         self.config = config
         busy_delta, idle_delta = config.counter_increments()
         self._busy_delta = busy_delta
@@ -56,7 +63,6 @@ class BandwidthAdaptiveMechanism:
         limit = config.sampling_interval * max(busy_delta, idle_delta) + 1
         self.utilization_counter = SignedSaturatingCounter(limit=limit)
         self.policy_counter = UnsignedSaturatingCounter(bits=config.policy_counter_bits)
-        seed = config.lfsr_seed if lfsr_seed is None else lfsr_seed
         self.lfsr = LinearFeedbackShiftRegister(seed=seed)
         #: Recent samples.  Bounded by default (PAPER-scale runs take millions
         #: of samples per node and used to grow memory without limit — ROADMAP
@@ -69,6 +75,22 @@ class BandwidthAdaptiveMechanism:
         )
         self._broadcasts = 0
         self._unicasts = 0
+
+    def reset(
+        self, config: Optional[AdaptiveConfig] = None, lfsr_seed: Optional[int] = None
+    ) -> None:
+        """Return to the exact post-construction state, optionally re-parameterised.
+
+        Re-running ``__init__`` rebuilds the saturating counters (whose widths
+        depend on the threshold and sampling interval), re-seeds the LFSR, and
+        empties the history — a reset mechanism is indistinguishable from a
+        freshly constructed one, which the sweep engine's reset-equivalence
+        contract relies on.
+        """
+        self.__init__(
+            self.config if config is None else config,
+            self._seed if lfsr_seed is None else lfsr_seed,
+        )
 
     # ----------------------------------------------------------- observation
 
@@ -110,6 +132,40 @@ class BandwidthAdaptiveMechanism:
             utilization_counter=value,
             policy_counter=self.policy_counter.value,
             unicast_probability=self.unicast_probability,
+        )
+        self.history.append(sample)
+        return sample
+
+    def observe_window(
+        self, busy: int, idle: int, time: int, utilization: float
+    ) -> AdaptiveSample:
+        """Fused :meth:`observe_cycles` + :meth:`sample` for the sampling event.
+
+        Valid only under the sampling loop's invariant that the utilization
+        counter is zero at window start (it is reset after every sample): the
+        raw sum ``busy*(q-p) - idle*p`` then equals the two sequential
+        saturating adds, because the counter limit is sized so neither partial
+        sum can reach it within one interval (``limit = interval *
+        max(deltas) + 1`` and ``busy + idle = interval``).  One sampling event
+        per node per interval makes this the BASH-specific hot path, so the
+        counters' slots are updated directly instead of through their
+        saturating method calls — the net counter state (zero, ready for the
+        next window) and every :class:`AdaptiveSample` field are identical.
+        """
+        value = busy * self._busy_delta - idle * self._idle_delta
+        policy = self.policy_counter
+        if value > 0:
+            if policy._value < policy._maximum:
+                policy._value += 1
+        elif value < 0:
+            if policy._value > 0:
+                policy._value -= 1
+        sample = AdaptiveSample(
+            time=time,
+            utilization=utilization,
+            utilization_counter=value,
+            policy_counter=policy._value,
+            unicast_probability=policy._value / policy._maximum,
         )
         self.history.append(sample)
         return sample

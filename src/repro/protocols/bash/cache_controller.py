@@ -39,12 +39,9 @@ class BashCacheController(SnoopingCacheController):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         adaptive_config = self.config.adaptive
-        # Seed each node's LFSR differently so the fleet does not make
-        # lock-step decisions, while staying deterministic per configuration.
-        seed = (adaptive_config.lfsr_seed + 0x9E37 * (self.node_id + 1)) & 0xFFFF
-        if seed == 0:
-            seed = 0xACE1
-        self.adaptive = BandwidthAdaptiveMechanism(adaptive_config, lfsr_seed=seed)
+        self.adaptive = BandwidthAdaptiveMechanism(
+            adaptive_config, lfsr_seed=self._node_lfsr_seed(adaptive_config)
+        )
         self._window_start = 0
         # System-wide stat handles, hoisted out of the per-sample/per-request
         # paths (registry lookups cost a dict probe plus string hash each).
@@ -54,29 +51,105 @@ class BashCacheController(SnoopingCacheController):
         )
         self._sys_broadcast_decisions = self.stats.counter("system.broadcast_decisions")
         self._sys_unicast_decisions = self.stats.counter("system.unicast_decisions")
+        # Sampling fires once per node per interval, so its pipeline is fully
+        # prebound: the node's link pair and the mechanism persist across
+        # system resets (the mechanism is re-initialised in place), keeping
+        # every handle below valid.
+        self._link_pair = self.interconnect.links[self.node_id]
+        # Busy-cycle totals at the previous window boundary, per direction:
+        # busy_time_up_to(t) is final once the clock passes t, so each sample
+        # queries only the *current* boundary and reuses the cached previous
+        # one — half the link queries of the naive utilization(start, end).
+        self._window_busy_in = 0
+        self._window_busy_out = 0
+        self._mean_link_utilization = self.stats.running_mean(
+            self.stat_name("link_utilization")
+        )
+        self._sampling_label = self.full_label("adaptive-sample")
+        self._schedule_after_fast = self.scheduler.schedule_after_fast
+        self._observe_window = self.adaptive.observe_window
+        self._sampling_interval = adaptive_config.sampling_interval
+        self._schedule_sampling()
+
+    def _node_lfsr_seed(self, adaptive_config) -> int:
+        """Per-node LFSR seed: the fleet must not make lock-step decisions,
+        while staying deterministic per configuration."""
+        seed = (adaptive_config.lfsr_seed + 0x9E37 * (self.node_id + 1)) & 0xFFFF
+        return seed if seed else 0xACE1
+
+    def reset_state(self, config) -> None:
+        """Also re-arm the adaptive mechanism and restart the sampling clock.
+
+        The scheduler has just been reset, so the perpetual sampling event
+        scheduled at construction is gone; rescheduling it here (in node
+        order, before any sequencer starts) reproduces the construction-time
+        event sequence numbers exactly.
+        """
+        super().reset_state(config)
+        adaptive_config = config.adaptive
+        self.adaptive.reset(adaptive_config, self._node_lfsr_seed(adaptive_config))
+        self._sampling_interval = adaptive_config.sampling_interval
+        self._window_start = 0
+        self._window_busy_in = 0
+        self._window_busy_out = 0
         self._schedule_sampling()
 
     # ----------------------------------------------------------- adaptation
 
     def _schedule_sampling(self) -> None:
-        interval = self.config.adaptive.sampling_interval
-        self.schedule_fast(interval, self._sample_utilization, "adaptive-sample")
+        self._schedule_after_fast(
+            self._sampling_interval, self._sample_utilization, self._sampling_label
+        )
 
     def _sample_utilization(self) -> None:
-        """End one sampling interval: read the local link and update counters."""
-        now = self.now
+        """End one sampling interval: read the local link and update counters.
+
+        Equivalent to ``observe_cycles`` + ``sample`` + three stat records,
+        with every handle prebound and the mechanism update fused
+        (:meth:`BandwidthAdaptiveMechanism.observe_window`): low-bandwidth
+        sweep points take tens of thousands of samples per run, making this
+        the dominant BASH-specific cost.
+        """
+        now = self.scheduler.now
         window_start = self._window_start
-        link = self.interconnect.links[self.node_id]
-        utilization = link.utilization(window_start, now)
-        busy = int(round(utilization * (now - window_start)))
-        idle = max(0, (now - window_start) - busy)
-        self.adaptive.observe_cycles(busy, idle)
-        self.adaptive.sample(time=now, utilization=utilization)
-        self.record("link_utilization", utilization)
+        # Inlined LinkPair.utilization over [window_start, now): the busy
+        # totals at window_start were cached by the previous sample (they are
+        # final once the clock passed that boundary), and the O(1) idle-link
+        # fast path of EndpointLink.busy_time_up_to is applied without the
+        # call frames.  Identical arithmetic to utilization(start, now).
+        incoming = self._link_pair.incoming
+        outgoing = self._link_pair.outgoing
+        busy_in_now = (
+            incoming._busy_total
+            if now >= incoming._busy_until
+            else incoming.busy_time_up_to(now)
+        )
+        busy_out_now = (
+            outgoing._busy_total
+            if now >= outgoing._busy_until
+            else outgoing.busy_time_up_to(now)
+        )
+        busy_in = busy_in_now - self._window_busy_in
+        busy_out = busy_out_now - self._window_busy_out
+        self._window_busy_in = busy_in_now
+        self._window_busy_out = busy_out_now
+        span = now - window_start
+        bottleneck = busy_in if busy_in > busy_out else busy_out
+        if span > 0:
+            utilization = bottleneck / span
+            if utilization > 1.0:
+                utilization = 1.0
+        else:
+            utilization = 0.0
+        busy = int(round(utilization * span))
+        sample = self._observe_window(busy, span - busy, now, utilization)
+        self._mean_link_utilization.record(utilization)
         self._sys_link_utilization.record(utilization)
-        self._sys_unicast_probability.record(self.adaptive.unicast_probability)
+        self._sys_unicast_probability.record(sample.unicast_probability)
         self._window_start = now
-        self._schedule_sampling()
+        self._schedule_after_fast(
+            self._sampling_interval, self._sample_utilization, self._sampling_label
+        )
 
     # -------------------------------------------------------------- sending
 

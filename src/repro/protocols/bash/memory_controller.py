@@ -35,6 +35,11 @@ class BashMemoryController(OrderedHomeMemoryController):
         super().__init__(*args, **kwargs)
         self._active_retries = 0
 
+    def reset_state(self, config) -> None:
+        """Also free every retry-buffer slot."""
+        super().reset_state(config)
+        self._active_retries = 0
+
     # ------------------------------------------------------------- bookkeeping
 
     def _note_request_observed(self, entry: DirectoryEntry, message: Message) -> None:
@@ -122,7 +127,7 @@ class BashMemoryController(OrderedHomeMemoryController):
     def _send_nack(self, message: Message) -> None:
         """Resolve a potential deadlock: tell the requester to broadcast instead."""
         self.count("nacks_sent")
-        nack = Message(
+        nack = self._new_message(
             msg_type=MessageType.NACK,
             src=self.node_id,
             dest=message.requester,

@@ -53,7 +53,7 @@ class DirectoryCacheController(CacheControllerBase):
         ):
             # An upgrade from O needs no data; it completes at its marker.
             transaction.expects_data = False
-        message = Message(
+        message = self._new_message(
             msg_type=transaction.kind,
             src=self.node_id,
             dest=self.home_of(address),
@@ -71,7 +71,7 @@ class DirectoryCacheController(CacheControllerBase):
     def _send_writeback(self, transaction: Transaction) -> None:
         """Write the owned block back to the home; the data rides with the PUT."""
         block = self.blocks.lookup(transaction.address)
-        message = Message(
+        message = self._new_message(
             msg_type=MessageType.PUTM,
             src=self.node_id,
             dest=self.home_of(transaction.address),

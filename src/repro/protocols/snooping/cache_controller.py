@@ -37,6 +37,65 @@ class SnoopingCacheController(CacheControllerBase):
         MessageType.DATA: "_handle_data",
     }
 
+    # ------------------------------------------------------- fused delivery
+
+    def compile_fused_ordered(self, msg_type, memory_handler, home_filter, is_home_for):
+        """One closure running snoop early-out + home-filtered memory handling.
+
+        A broadcast fans out to every node, so the per-delivery frames are the
+        hottest code in the repository: this folds :meth:`_snoop_request` and
+        the node's home-filtered memory dispatch into a single callable with
+        prebound dict accessors.  Only compiled when the dispatch table still
+        routes GETS/GETM to the default snoop handler (tests that swap
+        handler tables keep the generic table-driven path).  The prebound
+        ``.get``\\ s target dicts that every reset clears *in place*, so the
+        closure survives system resets.
+        """
+        if msg_type is not MessageType.GETS and msg_type is not MessageType.GETM:
+            return None
+        if self.ordered_handlers.get(msg_type) != self._snoop_request:
+            return None
+        node_id = self.node_id
+        transactions_get = self.transactions.get
+        blocks_get = self.blocks._blocks.get  # raw dict: cleared in place on reset
+        handle_own = self._handle_own_request
+        handle_other = self._handle_other_request
+        if memory_handler is None:
+
+            def snoop_only(message: Message) -> None:
+                if message.requester == node_id:
+                    handle_own(message)
+                    return
+                address = message.address
+                transaction = transactions_get(address)
+                if blocks_get(address) is None and (
+                    transaction is None or transaction.completed
+                ):
+                    return
+                handle_other(message)
+
+            return snoop_only
+
+        home_filter_get = home_filter.get
+
+        def snoop_and_home(message: Message) -> None:
+            address = message.address
+            if message.requester == node_id:
+                handle_own(message)
+            else:
+                transaction = transactions_get(address)
+                if blocks_get(address) is not None or (
+                    transaction is not None and not transaction.completed
+                ):
+                    handle_other(message)
+            home = home_filter_get(address)
+            if home is None:
+                home = home_filter[address] = is_home_for(address)
+            if home:
+                memory_handler(message)
+
+        return snoop_and_home
+
     # ------------------------------------------------------------- sending
 
     def _request_recipients(self, transaction: Transaction) -> frozenset:
@@ -178,7 +237,7 @@ class SnoopingCacheController(CacheControllerBase):
             if msg_type is MessageType.WB_DATA
             else self.config.request_message_bytes
         )
-        message = Message(
+        message = self._new_message(
             msg_type=msg_type,
             src=self.node_id,
             dest=home,

@@ -43,6 +43,12 @@ class OrderedHomeMemoryController(MemoryControllerBase):
         #: Outstanding PUTs per block, by writer, awaiting WB_DATA / WB_SQUASH.
         self._pending_puts: Dict[int, Set[int]] = {}
 
+    def reset_state(self, config) -> None:
+        """Also drop requests held across writebacks and outstanding PUTs."""
+        super().reset_state(config)
+        self._held_requests.clear()
+        self._pending_puts.clear()
+
     # ---------------------------------------------------------- ordered path
 
     def _ordered_request(self, message: Message) -> None:

@@ -1,8 +1,9 @@
 """Discrete-event simulation engine."""
 
+from .arena import SimulationArena
 from .component import Component
 from .event import Event
 from .scheduler import Scheduler
 from .simulator import Simulator
 
-__all__ = ["Component", "Event", "Scheduler", "Simulator"]
+__all__ = ["Component", "Event", "Scheduler", "SimulationArena", "Simulator"]

@@ -80,6 +80,18 @@ class Component:
             full = self._label_cache[label] = self._label_prefix + label
         return full
 
+    def reset_stat_caches(self) -> None:
+        """Drop the lazily resolved stat handles (label caches stay).
+
+        Part of the system reset protocol: the registry prunes statistics
+        created after its construction baseline, so any cached handle for a
+        pruned name would silently count into an unregistered object.  The
+        next :meth:`count`/:meth:`record` re-resolves through the registry —
+        baseline names get the same (just-zeroed) object back.
+        """
+        self._counter_cache.clear()
+        self._mean_cache.clear()
+
     def stat_name(self, suffix: str) -> str:
         """Fully qualified statistic name for this component."""
         return f"{self.name}.{suffix}"

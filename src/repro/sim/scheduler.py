@@ -4,30 +4,43 @@ This is the repository's hottest loop: a full figure reproduction fires
 hundreds of millions of events through it.  The design choices are therefore
 throughput-driven:
 
-* the heap holds plain ``(time, sequence, event)`` tuples, so heap sifts
-  compare machine integers in C instead of calling rich-comparison methods;
+* the queue is a *bucket queue*: a dict mapping each distinct timestamp to a
+  FIFO list of entries, plus a small heap of the distinct timestamps
+  themselves.  Protocol traffic is bursty — a broadcast fans out to every
+  node at the same cycle — so the multiprocessor workloads average ~5 events
+  per distinct time, and a push is usually a C-level ``dict.get`` +
+  ``list.append`` instead of a heap sift;
+* entries are plain tuples — ``(time, sequence, event)`` for cancellable
+  events, ``(time, sequence, callback, label[, arg])`` for the fast paths —
+  appended in schedule order, which *is* ``sequence`` order, so FIFO draining
+  reproduces the classic ``(time, sequence)`` heap order exactly;
 * cancellation is *lazy*: cancelled events stay queued (cheap ``O(1)``
-  cancel) and are discarded when they surface at the head, with a periodic
-  compaction pass that rebuilds the heap when cancelled entries dominate;
-* :meth:`run` inlines the pop/fire fast path — no per-event method calls
-  beyond the event callback itself.
+  cancel) and are skipped when their bucket drains, with a periodic
+  compaction pass when cancelled entries dominate;
+* :meth:`run` inlines the drain fast path — no per-event method calls beyond
+  the event callback itself, and the clock and bound checks are paid once per
+  *bucket* rather than once per event.
 
 ``pending`` counts only *live* (non-cancelled) events, and ``run(until=...)``
-skips cancelled heads before peeking so a stale timeout at the front of the
-queue can neither stop the clock early nor leak an event past ``until``.
+stops the clock at ``until`` without firing or leaking any later event,
+cancelled heads included.
+
+The network fast paths (see :mod:`repro.interconnect.ordered_network` /
+``unordered_network``) push entries directly into ``_buckets``/``_times``;
+both containers are therefore cleared *in place* on :meth:`drain`/:meth:`reset`
+so compiled closures holding references stay valid across system resets.
 """
 
 from __future__ import annotations
 
-import heapq
 from heapq import heappop as _heappop, heappush as _heappush
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import SimulationError
 from .event import Event
 
-#: Compaction threshold: rebuild the heap once this many cancelled events are
-#: queued *and* they outnumber the live ones.
+#: Compaction threshold: rebuild the buckets once this many cancelled events
+#: are queued *and* they outnumber the live ones.
 _COMPACT_MIN_CANCELLED = 64
 
 #: Sentinel bound for `run`'s until/max_events checks: larger than any event
@@ -38,12 +51,27 @@ _new_event = object.__new__
 
 
 class Scheduler:
-    """A time-ordered priority queue of :class:`Event` objects."""
+    """A time-ordered bucket queue of simulation events."""
 
-    __slots__ = ("_queue", "now", "_sequence", "_fired", "_cancelled", "on_fire")
+    __slots__ = (
+        "_buckets",
+        "_times",
+        "now",
+        "_sequence",
+        "_fired",
+        "_cancelled",
+        "_compact_watermark",
+        "_active_time",
+        "on_fire",
+        "arena",
+    )
 
     def __init__(self) -> None:
-        self._queue: List[Tuple[int, int, Event]] = []
+        #: time -> FIFO list of entries scheduled for that cycle.
+        self._buckets: Dict[int, list] = {}
+        #: Min-heap of bucket timestamps.  May contain stale times whose
+        #: bucket was exhausted or compacted away; the drain loops skip those.
+        self._times: List[int] = []
         #: Current simulation time in cycles.  A plain attribute (not a
         #: property): it is read on every schedule call and in most event
         #: callbacks, where a Python-level descriptor call is measurable.
@@ -51,19 +79,44 @@ class Scheduler:
         self._sequence = 0
         self._fired = 0
         self._cancelled = 0
+        #: Outstanding-cancel count at which the next compaction check runs;
+        #: backed off geometrically by _note_cancel (see there).
+        self._compact_watermark = _COMPACT_MIN_CANCELLED
+        #: Timestamp of the bucket currently being drained by run()/step();
+        #: compaction skips it (the drain loop holds a live index into it).
+        self._active_time: Optional[int] = None
         #: Optional per-fired-event hook ``(time, label) -> None`` used by the
         #: golden-trace tests and ad-hoc tracing; ``None`` costs one branch.
         self.on_fire: Optional[Callable[[int, str], None]] = None
+        #: Optional :class:`repro.sim.arena.SimulationArena` shared by every
+        #: component built on this scheduler.  Controllers and networks consult
+        #: it once at construction to prebind their pooled allocation/release
+        #: paths; ``None`` means plain allocation everywhere.
+        self.arena = None
+
+    # ------------------------------------------------------------- accounting
 
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return len(self._queue) - self._cancelled
+        return sum(map(len, self._buckets.values())) - self._cancelled
 
     @property
     def fired(self) -> int:
         """Number of events executed so far."""
         return self._fired
+
+    # -------------------------------------------------------------- scheduling
+
+    def _push(self, time: int, entry: tuple) -> None:
+        """Append ``entry`` to the bucket for ``time`` (creating it if new)."""
+        buckets = self._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = [entry]
+            _heappush(self._times, time)
+        else:
+            bucket.append(entry)
 
     def schedule_at(
         self, time: int, callback: Callable[[], Any], label: str = ""
@@ -85,7 +138,7 @@ class Scheduler:
         event.label = label
         event.cancelled = False
         event._scheduler = self
-        _heappush(self._queue, (time, sequence, event))
+        self._push(time, (time, sequence, event))
         return event
 
     def schedule_after(
@@ -94,18 +147,7 @@ class Scheduler:
         """Schedule ``callback`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"delay must be non-negative, got {delay}")
-        time = self.now + delay
-        sequence = self._sequence
-        self._sequence = sequence + 1
-        event = _new_event(Event)
-        event.time = time
-        event.sequence = sequence
-        event.callback = callback
-        event.label = label
-        event.cancelled = False
-        event._scheduler = self
-        _heappush(self._queue, (time, sequence, event))
-        return event
+        return self.schedule_at(self.now + delay, callback, label)
 
     # ------------------------------------------------------------ fast paths
 
@@ -115,7 +157,7 @@ class Scheduler:
         """Schedule a *non-cancellable* callback at absolute cycle ``time``.
 
         The hot internal call sites (network hops, sequencer steps) never
-        cancel their events, so this path pushes a bare ``(time, sequence,
+        cancel their events, so this path appends a bare ``(time, sequence,
         callback, label)`` tuple and skips the :class:`Event` allocation
         entirely.  Use :meth:`schedule_at` when the caller needs the returned
         handle.
@@ -127,7 +169,7 @@ class Scheduler:
             )
         sequence = self._sequence
         self._sequence = sequence + 1
-        _heappush(self._queue, (time, sequence, callback, label))
+        self._push(time, (time, sequence, callback, label))
 
     def schedule_after_fast(
         self, delay: int, callback: Callable[[], Any], label: str = ""
@@ -138,14 +180,21 @@ class Scheduler:
         time = self.now + delay
         sequence = self._sequence
         self._sequence = sequence + 1
-        _heappush(self._queue, (time, sequence, callback, label))
+        # _push inlined: this is called between every pair of protocol events.
+        buckets = self._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = [(time, sequence, callback, label)]
+            _heappush(self._times, time)
+        else:
+            bucket.append((time, sequence, callback, label))
 
     def schedule_at_fast1(
         self, time: int, callback: Callable[[Any], Any], arg: Any, label: str = ""
     ) -> None:
         """Fast-path schedule of ``callback(arg)`` at absolute cycle ``time``.
 
-        Carrying the single argument in the heap entry lets hot call sites
+        Carrying the single argument in the queue entry lets hot call sites
         reuse one prebound callable per (node, kind) instead of allocating a
         ``partial`` per event.
         """
@@ -156,7 +205,7 @@ class Scheduler:
             )
         sequence = self._sequence
         self._sequence = sequence + 1
-        _heappush(self._queue, (time, sequence, callback, label, arg))
+        self._push(time, (time, sequence, callback, label, arg))
 
     def schedule_after_fast1(
         self, delay: int, callback: Callable[[Any], Any], arg: Any, label: str = ""
@@ -167,33 +216,67 @@ class Scheduler:
         time = self.now + delay
         sequence = self._sequence
         self._sequence = sequence + 1
-        _heappush(self._queue, (time, sequence, callback, label, arg))
+        # _push inlined: the single-argument fast path carries most protocol
+        # latency modelling (data responses, markers, forwards, retries).
+        buckets = self._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = [(time, sequence, callback, label, arg)]
+            _heappush(self._times, time)
+        else:
+            bucket.append((time, sequence, callback, label, arg))
 
     # ------------------------------------------------------- lazy cancellation
 
     def _note_cancel(self) -> None:
-        """Called by :meth:`Event.cancel` while the event is still queued."""
+        """Called by :meth:`Event.cancel` while the event is still queued.
+
+        Sizing the queue means summing every bucket, so the check runs only
+        at a geometrically backed-off watermark: whatever a compaction
+        attempt leaves uncollected (cancelled entries in the actively
+        draining bucket are skipped), the next attempt waits until the
+        outstanding count doubles — keeping ``cancel()`` amortised O(1) even
+        for cancel-heavy workloads.
+        """
         self._cancelled += 1
-        if (
-            self._cancelled >= _COMPACT_MIN_CANCELLED
-            and self._cancelled * 2 > len(self._queue)
-        ):
-            self._compact()
+        if self._cancelled >= self._compact_watermark:
+            total = sum(map(len, self._buckets.values()))
+            if self._cancelled * 2 > total:
+                self._compact()
+            self._compact_watermark = max(
+                _COMPACT_MIN_CANCELLED, self._cancelled * 2
+            )
 
     def _compact(self) -> None:
-        """Drop cancelled entries and rebuild the heap in one pass.
+        """Physically drop cancelled entries from every idle bucket.
 
-        In place (slice assignment, not rebinding): ``run()`` and ``step()``
-        hold a local alias to the queue list, and cancellation — hence
-        compaction — can be triggered from inside a fired callback.
+        The bucket currently being drained (if any) is skipped — the drain
+        loop holds a live index into it; its cancelled entries are skipped
+        (and accounted) when they surface.  Emptied buckets are deleted; their
+        timestamps go stale in the heap and are discarded on pop.
         """
-        self._queue[:] = [
-            entry
-            for entry in self._queue
-            if len(entry) != 3 or not entry[2].cancelled
-        ]
-        heapq.heapify(self._queue)
-        self._cancelled = 0
+        buckets = self._buckets
+        active = self._active_time
+        for time in list(buckets):
+            if time == active:
+                continue
+            entries = buckets[time]
+            live = [
+                entry
+                for entry in entries
+                if len(entry) != 3 or not entry[2].cancelled
+            ]
+            dropped = len(entries) - len(live)
+            if not dropped:
+                continue
+            for entry in entries:
+                if len(entry) == 3 and entry[2].cancelled:
+                    entry[2]._scheduler = None
+            self._cancelled -= dropped
+            if live:
+                entries[:] = live
+            else:
+                del buckets[time]
 
     # ---------------------------------------------------------------- running
 
@@ -203,27 +286,46 @@ class Scheduler:
         Events scheduled through the fast path have no :class:`Event` handle;
         for those, a transient handle is materialised for the return value.
         """
-        queue = self._queue
-        while queue:
-            entry = _heappop(queue)
+        buckets = self._buckets
+        times = self._times
+        while times:
+            time = times[0]
+            bucket = buckets.get(time)
+            if not bucket:
+                _heappop(times)
+                if bucket is not None:
+                    del buckets[time]
+                continue
+            entry = bucket.pop(0)
+            if not bucket:
+                del buckets[time]
+                _heappop(times)
             if len(entry) != 3:
-                time, _seq, callback, label = entry[:4]
+                callback = entry[2]
                 self.now = time
-                if len(entry) == 5:
-                    callback(entry[4])
-                else:
-                    callback()
+                self._active_time = time
+                try:
+                    if len(entry) == 5:
+                        callback(entry[4])
+                    else:
+                        callback()
+                finally:
+                    self._active_time = None
                 self._fired += 1
                 if self.on_fire is not None:
-                    self.on_fire(time, label)
-                return Event(time, entry[1], callback, label)
+                    self.on_fire(time, entry[3])
+                return Event(time, entry[1], callback, entry[3])
             event = entry[2]
             event._scheduler = None
             if event.cancelled:
                 self._cancelled -= 1
                 continue
-            self.now = event.time
-            event.callback()
+            self.now = time
+            self._active_time = time
+            try:
+                event.callback()
+            finally:
+                self._active_time = None
             self._fired += 1
             if self.on_fire is not None:
                 self.on_fire(event.time, event.label)
@@ -245,66 +347,216 @@ class Scheduler:
         Checking it costs a C-level subscript per event instead of a Python
         call.  Returns the number of events fired by this call.
 
-        The loop keeps the fired-event counter in a local and hoists the
-        ``on_fire`` hook (install it *before* calling :meth:`run`); the
-        ``until``/``max_events`` bounds are normalised to plain comparisons so
-        the per-event bookkeeping is a handful of C-level operations.
+        Two loops share the semantics: a specialised one for the driver
+        configuration every multiprocessor run uses (stop cell, no predicate,
+        no trace hook) whose per-event work is a subscript, two bound checks
+        and the callback — the clock advances once per *bucket* — and a
+        generic one carrying ``stop_when``/``on_fire`` support.  Events at
+        one timestamp fire in scheduling order (the bucket is FIFO), exactly
+        as the previous ``(time, sequence)`` heap ordered them.
         """
-        queue = self._queue
-        heappop = _heappop
+        buckets = self._buckets
+        times = self._times
         fired_before = fired = self._fired
-        # Normalise the bounds so the per-event checks are single comparisons:
+        # Normalise the bounds so the checks are single comparisons:
         # float('inf') compares against ints in C.
         until_bound = _NO_BOUND if until is None else until
         limit = _NO_BOUND if max_events is None else fired_before + max_events
         on_fire = self.on_fire
+        fast = stop_when is None and on_fire is None and stop_flag is not None
         try:
-            while queue:
-                if stop_flag is not None and stop_flag[0]:
-                    break
-                # Pop-first fast path: re-pushing the entry on a stop condition
-                # happens at most once per call, while a peek would cost a heap
-                # access on every iteration.
-                entry = heappop(queue)
-                size = len(entry)
-                if size == 3:
-                    event = entry[2]
-                    if event.cancelled:
-                        event._scheduler = None
-                        self._cancelled -= 1
-                        continue
-                else:
-                    # Fast-path entry: (time, sequence, callback, label[, arg]),
-                    # never cancellable.
-                    event = None
-                time = entry[0]
+            while times:
+                time = _heappop(times)
+                bucket = buckets.get(time)
+                if bucket is None:
+                    continue  # stale timestamp (bucket compacted/exhausted)
+                # Mark the bucket active *before* any user code can run: the
+                # stop_when predicate below may cancel events, and a
+                # cancellation-triggered compaction must not collect the
+                # bucket this loop is holding a live alias to (it would
+                # double-decrement the cancel accounting when the alias is
+                # drained).
+                self._active_time = time
                 if time > until_bound:
-                    _heappush(queue, entry)
+                    _heappush(times, time)
                     self.now = until
                     break
-                if fired >= limit or (stop_when is not None and stop_when()):
-                    _heappush(queue, entry)
+                # Stop *before* advancing the clock into a bucket no event of
+                # which will fire: `now` must remain the last fired time when
+                # a stop cell, predicate or event budget ends the run.
+                if (
+                    fired >= limit
+                    or (stop_flag is not None and stop_flag[0])
+                    or (stop_when is not None and stop_when())
+                ):
+                    _heappush(times, time)
                     break
                 self.now = time
-                if event is None:
-                    if size == 5:
-                        entry[2](entry[4])
+                index = 0
+                stopped = False
+                try:
+                    if fast:
+                        # Single fast-entry bucket: the guard above already proved
+                        # the stop cell clear and the budget open, so the one
+                        # event fires with no further checks.  Directory-protocol
+                        # traffic is mostly unicast (one event per cycle), making
+                        # this the common case there.
+                        entry = bucket[0]
+                        if len(bucket) == 1 and len(entry) != 3:
+                            # Consumed before firing: a raising callback must
+                            # not leave its own entry queued for re-delivery.
+                            index = 1
+                            if len(entry) == 5:
+                                entry[2](entry[4])
+                            else:
+                                entry[2]()
+                            fired += 1
+                            if len(bucket) == 1:
+                                del buckets[time]
+                                continue
+                            if not bucket:
+                                # A mid-callback drain() emptied the queue.
+                                continue
+                            # The callback scheduled into this same cycle: fall
+                            # through and drain the rest with full checks.
+                        # `length` caches len(bucket); the walrus re-check picks up
+                        # entries appended by fired callbacks (same-cycle
+                        # scheduling) without a len() call per event.
+                        length = len(bucket)
+                        while index < length or index < (length := len(bucket)):
+                            if stop_flag[0]:
+                                stopped = True
+                                break
+                            try:
+                                entry = bucket[index]
+                            except IndexError:
+                                # A mid-callback drain() emptied the bucket while
+                                # `length` was still caching its old size (zero
+                                # cost when not raised on 3.11+).
+                                break
+                            if len(entry) == 3:
+                                event = entry[2]
+                                if event.cancelled:
+                                    event._scheduler = None
+                                    self._cancelled -= 1
+                                    index += 1
+                                    continue
+                                if fired >= limit:
+                                    stopped = True
+                                    break
+                                index += 1
+                                event._scheduler = None
+                                event.callback()
+                                fired += 1
+                            else:
+                                if fired >= limit:
+                                    stopped = True
+                                    break
+                                index += 1
+                                if len(entry) == 5:
+                                    entry[2](entry[4])
+                                else:
+                                    entry[2]()
+                                fired += 1
                     else:
-                        entry[2]()
-                else:
-                    event._scheduler = None
-                    event.callback()
-                fired += 1
-                if on_fire is not None:
-                    on_fire(time, entry[3] if event is None else event.label)
+                        length = len(bucket)
+                        while index < length or index < (length := len(bucket)):
+                            if stop_flag is not None and stop_flag[0]:
+                                stopped = True
+                                break
+                            try:
+                                entry = bucket[index]
+                            except IndexError:
+                                break  # mid-callback drain(); see the fast loop
+                            size = len(entry)
+                            if size == 3:
+                                event = entry[2]
+                                if event.cancelled:
+                                    event._scheduler = None
+                                    self._cancelled -= 1
+                                    index += 1
+                                    continue
+                            if fired >= limit or (
+                                stop_when is not None and stop_when()
+                            ):
+                                stopped = True
+                                break
+                            index += 1
+                            if size == 3:
+                                event = entry[2]
+                                event._scheduler = None
+                                event.callback()
+                                fired += 1
+                                if on_fire is not None:
+                                    on_fire(time, event.label)
+                            else:
+                                if size == 5:
+                                    entry[2](entry[4])
+                                else:
+                                    entry[2]()
+                                fired += 1
+                                if on_fire is not None:
+                                    on_fire(time, entry[3])
+                except BaseException:
+                    # The old heap loop popped each entry before firing,
+                    # so a raising callback was exception-safe by
+                    # construction.  Restore that here: drop the consumed
+                    # prefix (the raising event included) and put the
+                    # bucket's timestamp back so the remaining same-cycle
+                    # events stay reachable by a later run().
+                    if index:
+                        del bucket[:index]
+                    if buckets.get(time) is bucket:
+                        if bucket:
+                            _heappush(times, time)
+                        else:
+                            del buckets[time]
+                    raise
+                if stopped:
+                    if index:
+                        del bucket[:index]
+                    if bucket:
+                        _heappush(times, time)
+                    elif buckets.get(time) is bucket:
+                        del buckets[time]
+                    break
+                if buckets.get(time) is bucket:
+                    # Identity-guarded: a mid-callback drain() already removed
+                    # (or drain + reschedule replaced) this bucket.
+                    del buckets[time]
         finally:
             self._fired = fired
+            self._active_time = None
         return fired - fired_before
 
     def drain(self) -> None:
         """Discard all pending events without running them."""
-        for entry in self._queue:
-            if len(entry) == 3 and isinstance(entry[2], Event):
-                entry[2]._scheduler = None
-        self._queue.clear()
+        for bucket in self._buckets.values():
+            for entry in bucket:
+                if len(entry) == 3 and isinstance(entry[2], Event):
+                    entry[2]._scheduler = None
+            # Each bucket list is cleared in place as well as the dict: a
+            # drain issued from *inside* a fired callback (Simulator.finish
+            # mid-run) must stop the loop, which is still indexing into the
+            # active bucket's list.
+            bucket.clear()
+        # In place: compiled network closures hold direct references to both
+        # containers, and they must observe the emptied queue.
+        self._buckets.clear()
+        self._times.clear()
         self._cancelled = 0
+        self._compact_watermark = _COMPACT_MIN_CANCELLED
+
+    def reset(self) -> None:
+        """Re-arm the scheduler for a fresh run: empty queue, time zero.
+
+        The bucket containers are cleared *in place* (via :meth:`drain`) —
+        compiled network closures hold direct aliases to them, and those
+        closures survive a system reset.  ``on_fire`` and ``arena`` are
+        deliberately preserved: both are installed by the harness around the
+        scheduler, not by the run.
+        """
+        self.drain()
+        self.now = 0
+        self._sequence = 0
+        self._fired = 0

@@ -50,3 +50,15 @@ class Simulator:
         """Discard pending events and mark the run as complete."""
         self.scheduler.drain()
         self._finished = True
+
+    def reset(self) -> None:
+        """Re-arm for another run: time zero, empty queue, statistics reset.
+
+        Statistics registered at system construction are zeroed *in place*
+        (prebound handles stay valid); statistics created lazily during the
+        previous run are dropped entirely, so a reset simulator reports
+        exactly the same statistic set a freshly built one would.
+        """
+        self.scheduler.reset()
+        self.stats.reset()
+        self._finished = False

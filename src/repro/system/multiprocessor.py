@@ -10,6 +10,7 @@ from ..common.config import ProtocolName, SystemConfig
 from ..errors import SimulationError
 from ..interconnect.network import Interconnect
 from ..protocols.factory import create_controllers
+from ..sim.arena import SimulationArena
 from ..sim.simulator import Simulator
 from ..workloads.base import Workload
 from .node import Node
@@ -68,14 +69,50 @@ class RunResult:
         return self.performance / self.num_processors
 
 
-class MultiprocessorSystem:
-    """Builds and runs one simulated machine for one workload."""
+#: Structural SystemConfig fields: a built system can only be reset to a
+#: configuration that agrees on all of these.  Everything else (bandwidth,
+#: broadcast cost factor, adaptive parameters, cache capacity, seed) is a
+#: per-sweep-point knob the reset protocol re-arms in place.
+_STRUCTURAL_FIELDS = (
+    "protocol",
+    "num_processors",
+    "cache_block_bytes",
+    "request_message_bytes",
+    "data_message_bytes",
+    "latency",
+)
 
-    def __init__(self, config: SystemConfig, workload: Workload) -> None:
+
+class MultiprocessorSystem:
+    """Builds and runs one simulated machine for one workload.
+
+    A built system is *resettable*: :meth:`reset` re-arms every component —
+    scheduler, statistics, links, networks, controllers, sequencers — for a
+    new (seed, bandwidth, threshold, workload) sweep point without rebuilding
+    nodes or recompiling dispatch tables, and is contractually
+    indistinguishable from constructing a fresh system (the reset-equivalence
+    tests pin this field-for-field on :class:`RunResult` and bit-for-bit on
+    the golden event traces).
+
+    Passing a :class:`~repro.sim.arena.SimulationArena` pools the hot
+    allocations (single-delivery messages, completed transactions) across
+    resets and disables the cyclic GC around :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        workload: Workload,
+        arena: Optional[SimulationArena] = None,
+    ) -> None:
         self.config = config
         self.workload = workload
+        self.arena = arena
         self.simulator = Simulator()
         self.stats = self.simulator.stats
+        # Attach the arena before any component is built: controllers and
+        # networks prebind their pooled allocation paths at construction.
+        self.simulator.scheduler.arena = arena
         self.rng = random.Random(config.random_seed)
         self.interconnect = Interconnect(config, self.simulator.scheduler, self.stats)
         self.nodes: List[Node] = []
@@ -104,6 +141,49 @@ class MultiprocessorSystem:
         self._stop_cell = [False]
         for node in self.nodes:
             node.sequencer.on_done = self._note_sequencer_done
+        # Statistics registered up to here are the construction baseline;
+        # reset() zeroes them in place and prunes anything created later.
+        self.stats.mark_baseline()
+
+    # ------------------------------------------------------------------ reset
+
+    def reset(
+        self, workload: Workload, config: Optional[SystemConfig] = None
+    ) -> "MultiprocessorSystem":
+        """Re-arm the built system for a new sweep point.
+
+        ``config`` (default: the current one) must agree with the constructed
+        system on every structural field; per-point knobs — seed, bandwidth,
+        broadcast cost factor, adaptive parameters, cache capacity — may
+        differ.  ``workload`` is the fresh per-point workload instance.
+
+        The order below mirrors construction exactly, so event sequence
+        numbers (e.g. the BASH sampling events scheduled per node) come out
+        identical to a fresh build — a requirement for bit-identical traces.
+        """
+        if config is None:
+            config = self.config
+        else:
+            for name in _STRUCTURAL_FIELDS:
+                if getattr(config, name) != getattr(self.config, name):
+                    raise SimulationError(
+                        f"cannot reset across structural config change "
+                        f"{name!r}: {getattr(self.config, name)!r} -> "
+                        f"{getattr(config, name)!r}; build a new system"
+                    )
+            self.config = config
+        self.simulator.reset()
+        self.rng.seed(config.random_seed)
+        self.interconnect.reset(config)
+        self.workload = workload
+        workload.bind(config.num_processors, config.cache_block_bytes, self.rng)
+        for node in self.nodes:
+            node.cache_controller.reset_state(config)
+            node.memory_controller.reset_state(config)
+            node.sequencer.reset(config, workload)
+        self._running_sequencers = len(self.nodes)
+        self._stop_cell[0] = False
+        return self
 
     # ----------------------------------------------------------------- running
 
@@ -113,6 +193,12 @@ class MultiprocessorSystem:
         max_events: int = 20_000_000,
     ) -> RunResult:
         """Run until the workload completes on every processor."""
+        if self.arena is not None:
+            with self.arena.runtime():
+                return self._run(max_cycles, max_events)
+        return self._run(max_cycles, max_events)
+
+    def _run(self, max_cycles: int, max_events: int) -> RunResult:
         for node in self.nodes:
             node.sequencer.start()
         self._stop_cell[0] = self._running_sequencers == 0
@@ -186,7 +272,15 @@ def simulate(
     workload: Workload,
     max_cycles: int = 50_000_000,
     max_events: int = 20_000_000,
+    arena: Optional[SimulationArena] = None,
 ) -> RunResult:
-    """Convenience wrapper: build a system, run the workload, return metrics."""
-    system = MultiprocessorSystem(config, workload)
+    """Convenience wrapper: build a system, run the workload, return metrics.
+
+    ``arena`` opts the run into pooled hot-object allocation and run-scoped GC
+    control; sweep drivers that execute many points pass one long-lived arena
+    so the free lists warm up across runs (see
+    :class:`repro.experiments.batch.BatchRunner` for the full reuse path,
+    which also keeps the constructed system).
+    """
+    system = MultiprocessorSystem(config, workload, arena=arena)
     return system.run(max_cycles=max_cycles, max_events=max_events)

@@ -97,10 +97,24 @@ class Node:
         return entry
 
     def _compile_ordered(self, msg_type: MessageType) -> DeliveryEntry:
+        memory_handler = self.memory_controller.ordered_handlers.get(msg_type)
+        # Protocols may offer a fully fused delivery closure (snoop early-out
+        # plus home-filtered memory dispatch in one frame) for their hottest
+        # ordered types; they decline — returning None — whenever the dispatch
+        # tables have been customised, keeping the generic path authoritative.
+        compile_fused = getattr(self.cache_controller, "compile_fused_ordered", None)
+        if compile_fused is not None and self._home_filter is not None:
+            fused = compile_fused(
+                msg_type,
+                memory_handler,
+                self._home_filter,
+                self.memory_controller.is_home_for,
+            )
+            if fused is not None:
+                return fused
         cache_handler = self.cache_controller.ordered_handlers.get(msg_type)
         if cache_handler is None:
             cache_handler = rejecter(self.cache_controller, "ordered")
-        memory_handler = self.memory_controller.ordered_handlers.get(msg_type)
         if memory_handler is None:
             # The memory side ignores this type: deliver to the cache alone.
             return cache_handler

@@ -72,6 +72,26 @@ class Sequencer(Component):
         self._ctr_misses = stats.counter(self.stat_name("misses"))
         self._ctr_hits = stats.counter(self.stat_name("hits"))
 
+    def reset(self, config: SystemConfig, workload: Workload) -> None:
+        """Re-arm this sequencer for a fresh run driving ``workload``.
+
+        The cache controller has already been reset (its MSHR dicts were
+        cleared in place, so the prebound references here stay valid); the
+        workload is a fresh instance per sweep point, so its hot entry points
+        are re-prebound.
+        """
+        self.config = config
+        self.workload = workload
+        self.operations_completed = 0
+        self.hits = 0
+        self.misses = 0
+        self.instructions = 0
+        self.done = False
+        self._store_tokens = 0
+        self._next_operation = workload.next_operation
+        self._on_complete = workload.on_complete
+        self.reset_stat_caches()
+
     # ----------------------------------------------------------------- drive
 
     def start(self) -> None:

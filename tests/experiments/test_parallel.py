@@ -189,3 +189,19 @@ class TestCacheEnvDefault:
         from repro.experiments.parallel import default_cache_dir
 
         assert default_cache_dir() is None
+
+    def test_cache_dir_false_disables_env_cache(self, tmp_path, monkeypatch):
+        """Benchmarks pass cache_dir=False so timed sweeps really run."""
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path))
+        run_sweep(_specs(protocols=(ProtocolName.SNOOPING,)), cache_dir=False)
+        assert not list(tmp_path.glob("*.json")), (
+            "cache_dir=False must neither read nor write the env cache"
+        )
+
+    def test_cache_dir_true_means_default_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path))
+        run_sweep(_specs(protocols=(ProtocolName.SNOOPING,)), cache_dir=True)
+        assert list(tmp_path.glob("*.json"))
+        monkeypatch.delenv("REPRO_SWEEP_CACHE")
+        # True with no env default degrades to "no cache", not a crash.
+        run_sweep(_specs(protocols=(ProtocolName.SNOOPING,))[:1], cache_dir=True)

@@ -120,7 +120,8 @@ class TestScheduler:
                 event.cancel()
         assert scheduler.pending == len(survivors)
         # Compaction must have physically removed most cancelled entries.
-        assert len(scheduler._queue) < len(events)
+        queued = sum(len(bucket) for bucket in scheduler._buckets.values())
+        assert queued < len(events)
         assert scheduler.run() == len(survivors)
 
     def test_compaction_from_inside_a_callback_is_safe(self):
@@ -161,6 +162,74 @@ class TestScheduler:
         scheduler.run()
         assert fired == ["event5", "fast1-7", "fast10"]
 
+    def test_drain_from_inside_a_callback_stops_the_run(self):
+        # Simulator.finish() (which drains) can be called by a fired event;
+        # the loop must stop cleanly: no later event fires — same-cycle
+        # events included — and the queue ends empty.
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule_at(5, lambda: (fired.append("drainer"), scheduler.drain()))
+        scheduler.schedule_at(5, lambda: fired.append("same-cycle"))
+        scheduler.schedule_at(9, lambda: fired.append("later"))
+        scheduler.run()
+        assert fired == ["drainer"]
+        assert scheduler.pending == 0
+        # The scheduler remains usable afterwards.
+        scheduler.schedule_at(20, lambda: fired.append("fresh"))
+        scheduler.run()
+        assert fired == ["drainer", "fresh"]
+
+    def test_drain_then_reschedule_same_cycle_from_callback(self):
+        scheduler = Scheduler()
+        fired = []
+
+        def drain_and_rearm():
+            scheduler.drain()
+            scheduler.schedule_at_fast(scheduler.now, lambda: fired.append("rearmed"))
+
+        scheduler.schedule_at_fast(5, drain_and_rearm)
+        scheduler.schedule_at_fast(5, lambda: fired.append("victim"))
+        scheduler.schedule_at_fast(9, lambda: fired.append("later"))
+        scheduler.run()
+        assert fired == ["rearmed"]
+        assert scheduler.pending == 0
+
+    def test_raising_callback_keeps_remaining_events_reachable(self):
+        # The heap loop popped each entry before firing, so a raising
+        # callback was exception-safe; the bucket loop must match: the
+        # raising event is consumed, same-cycle survivors still fire on a
+        # later run(), and new events at that cycle are not swallowed.
+        scheduler = Scheduler()
+        fired = []
+
+        def boom():
+            raise RuntimeError("boom")
+
+        scheduler.schedule_at_fast(5, lambda: fired.append("first"))
+        scheduler.schedule_at_fast(5, boom)
+        scheduler.schedule_at_fast(5, lambda: fired.append("survivor"))
+        scheduler.schedule_at_fast(9, lambda: fired.append("later"))
+        with pytest.raises(RuntimeError):
+            scheduler.run()
+        assert fired == ["first"]
+        assert scheduler.pending == 2
+        scheduler.schedule_at_fast(5, lambda: fired.append("rescheduled"))
+        scheduler.run()
+        assert fired == ["first", "survivor", "rescheduled", "later"]
+        assert scheduler.pending == 0
+
+    def test_raising_single_event_is_consumed(self):
+        scheduler = Scheduler()
+
+        def boom():
+            raise RuntimeError("boom")
+
+        scheduler.schedule_at_fast(5, boom)
+        with pytest.raises(RuntimeError):
+            scheduler.run()
+        assert scheduler.pending == 0
+        assert scheduler.run() == 0  # nothing re-fires
+
     def test_run_until_bound(self):
         scheduler = Scheduler()
         fired = []
@@ -177,6 +246,27 @@ class TestScheduler:
             scheduler.schedule_at(i, lambda: None)
         assert scheduler.run(max_events=3) == 3
         assert scheduler.fired == 3
+
+    def test_mass_cancel_from_stop_when_keeps_accounting_exact(self):
+        # A stop_when predicate that cancels events can trigger compaction
+        # while run() holds an alias to the bucket it is about to drain;
+        # the accounting must not double-count those cancellations.
+        scheduler = Scheduler()
+        current = [scheduler.schedule_at(5, lambda: None) for _ in range(10)]
+        later = [scheduler.schedule_at(100 + i, lambda: None) for i in range(70)]
+        cancelled = []
+
+        def cancel_everything():
+            if not cancelled:
+                for event in current + later:
+                    event.cancel()
+                cancelled.append(True)
+            return False
+
+        scheduler.run(stop_when=cancel_everything)
+        assert scheduler.pending == 0
+        assert scheduler._cancelled == 0
+        assert scheduler.fired == 0
 
     def test_stop_when_predicate(self):
         scheduler = Scheduler()

@@ -293,6 +293,57 @@ def profile_hot_loop(top: int = 25, output: Optional[Path] = None) -> None:
     stats.sort_stats("tottime").print_stats(top)
 
 
+def measure_scenario_engine(repeats: int = 3) -> Dict:
+    """Overhead of the declarative scenario engine over the direct sweep path.
+
+    Runs the reduced Figure 1 sweep twice per repeat, interleaved: once
+    through ``protocol_sweep`` (the direct path the figure drivers used
+    before the scenario engine) and once through ``run_scenario("figure1")``
+    (grid expansion + ResultFrame collection + presentation).  Both execute
+    the identical ``PointSpec`` list through the identical batched executor,
+    so the ratio isolates what the engine's bookkeeping costs — expected to
+    be noise at QUICK scale.  Equality of the two outputs is asserted before
+    timing anything.
+    """
+    from repro.experiments.runner import microbenchmark_factory, protocol_sweep
+    from repro.experiments.scenario import run_scenario
+
+    def direct():
+        return protocol_sweep(
+            QUICK, SWEEP_BANDWIDTHS, microbenchmark_factory(QUICK), cache_dir=False
+        )
+
+    def engine():
+        return run_scenario(
+            "figure1",
+            scale=QUICK,
+            axes={"bandwidth": SWEEP_BANDWIDTHS},
+            cache_dir=False,
+        ).data
+
+    if engine() != direct():  # warm-up doubling as an equivalence check
+        raise SystemExit("scenario engine and direct sweep produced different data")
+    direct_wall = engine_wall = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        direct()
+        direct_wall = min(direct_wall, time.perf_counter() - start)
+        start = time.perf_counter()
+        engine()
+        engine_wall = min(engine_wall, time.perf_counter() - start)
+    direct_wall = round(direct_wall, 3)
+    engine_wall = round(engine_wall, 3)
+    return {
+        "points": len(SWEEP_BANDWIDTHS) * len(PROTOCOL_LIST),
+        "direct_protocol_sweep_seconds": direct_wall,
+        "scenario_engine_seconds": engine_wall,
+        "engine_overhead_ratio": (
+            round(engine_wall / direct_wall, 3) if direct_wall else 0.0
+        ),
+        "outputs_identical": True,
+    }
+
+
 def run_smoke_sweep() -> Dict:
     """Seconds-scale CI check of the batched sweep engine.
 
@@ -342,6 +393,7 @@ def run_benchmark() -> Dict:
         "sweep_wall_time": measure_sweep_wall(),
         "sweep_batched": measure_sweep_batched(),
         "workers_scaling": measure_workers_scaling(),
+        "scenario_engine": measure_scenario_engine(),
     }
 
 
@@ -377,6 +429,12 @@ def main(argv=None) -> int:
         help="quick CI mode: tiny batched sweep, checks batched == rebuild",
     )
     parser.add_argument(
+        "--scenario",
+        action="store_true",
+        help="measure only the scenario-engine overhead section and merge it "
+        "into the result JSON's 'current' record",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="print a cProfile report of the hot loop instead of benchmarking",
@@ -403,6 +461,14 @@ def main(argv=None) -> int:
         if args.smoke_sweep:
             report["sweep_smoke"] = run_smoke_sweep()
         print(json.dumps(report, indent=2))
+        return 0
+
+    if args.scenario:
+        record = json.loads(args.output.read_text()) if args.output.exists() else {}
+        section = measure_scenario_engine()
+        record.setdefault("current", {})["scenario_engine"] = section
+        args.output.write_text(json.dumps(record, indent=2) + "\n")
+        print(json.dumps(section, indent=2))
         return 0
 
     record: Dict = {}

@@ -40,6 +40,30 @@ nodes, dispatch tables and networks per point.  A reset system is
 contractually identical to a fresh one (bit-identical event traces), and
 ``run_sweep(..., batch=False)`` forces the rebuild-per-point path if you want
 to verify that on your own configuration.
+
+Running the figures without Python: the scenario engine
+-------------------------------------------------------
+
+Every figure (and several non-paper studies) is registered as a named,
+declarative scenario; the ``repro`` package is executable and drives them
+from the command line::
+
+    python -m repro list
+    python -m repro run figure1 --scale quick
+    python -m repro run figure10 --scale paper --workers 8 \\
+        --cache-dir ~/.cache/repro-sweeps      # resumable PAPER campaign
+    python -m repro run migratory --axis bandwidth=800,3200 --json out.json
+
+Programmatically, a scenario is a grid of axes crossed into ``PointSpec``\\ s
+and collected into a unified :class:`~repro.experiments.study.ResultFrame`::
+
+    from repro.experiments import SCENARIOS
+
+    frame = SCENARIOS["figure1"].grid("quick").run(workers=8)
+    print(frame.speedup().filter(protocol="directory").column("speedup"))
+
+See ``examples/workload_comparison.py`` for declaring and registering a
+custom scenario of your own.
 """
 
 from __future__ import annotations

@@ -1,41 +1,64 @@
 #!/usr/bin/env python3
-"""Figure 10-12 style comparison on the synthetic commercial workloads.
+"""Figure 10-12 style comparison, written as a *custom scenario*.
 
-Runs the five synthetic workload presets (OLTP, Apache, SPECjbb, Slashcode,
-Barnes-Hut) on a 16-processor system at a chosen bandwidth — optionally with
-the paper's 4x broadcast-cost proxy for larger machines — and prints each
-protocol's performance normalised to BASH, the format of Figure 12.
+Earlier revisions of this example hand-rolled the comparison loop: build a
+``SystemConfig`` per (workload, protocol), call ``simulate``, normalise by
+hand.  The scenario engine makes that loop declarative — define the axes,
+point the grid at a workload factory, and run it through the same batched,
+cached, parallel executor the paper figures use.  The engine hands back a
+:class:`~repro.experiments.study.ResultFrame` whose derived-metric helpers
+replace the manual normalisation.
+
+The same study is available without writing Python at all::
+
+    python -m repro run figure12 --scale quick
 
 Usage::
 
     python examples/workload_comparison.py
     python examples/workload_comparison.py --bandwidth 1600 --broadcast-cost 4
+    python examples/workload_comparison.py --workers 4 --cache-dir /tmp/sweeps
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.common.config import AdaptiveConfig, ProtocolName, SystemConfig
-from repro.system.multiprocessor import simulate
+from repro.common.config import ProtocolName
+from repro.experiments.report import format_bars
+from repro.experiments.runner import QUICK, synthetic_factory
+from repro.experiments.scenario import GridScenario, register, run_scenario
+from repro.experiments.study import Axis
 from repro.workloads.presets import WORKLOAD_ORDER, preset
-from repro.workloads.synthetic import SyntheticCommercialWorkload
-
-PROTOCOLS = (ProtocolName.BASH, ProtocolName.SNOOPING, ProtocolName.DIRECTORY)
 
 
-def run_workload(name: str, protocol: ProtocolName, args) -> float:
-    config = SystemConfig(
-        num_processors=args.processors,
-        protocol=protocol,
-        bandwidth_mb_per_second=args.bandwidth,
-        broadcast_cost_factor=args.broadcast_cost,
-        adaptive=AdaptiveConfig(sampling_interval=128, policy_counter_bits=6),
-        cache_capacity_blocks=4096,
-        random_seed=args.seed,
+def build_scenario(args) -> GridScenario:
+    """Declare the comparison as a scenario and register it by name."""
+    return register(
+        GridScenario(
+            name="example_workload_comparison",
+            title="Synthetic commercial workloads, normalised to BASH",
+            description=(
+                "The Figure 12 comparison as a user-defined scenario: "
+                "workload x protocol at one bandwidth point."
+            ),
+            axes=(
+                Axis("workload", values=tuple(WORKLOAD_ORDER)),
+                Axis("protocol", values=(
+                    ProtocolName.BASH, ProtocolName.SNOOPING, ProtocolName.DIRECTORY,
+                )),
+            ),
+            workload=lambda scale, coords: synthetic_factory(
+                scale, coords["workload"]
+            ),
+            fixed={
+                "bandwidth": args.bandwidth,
+                "broadcast_cost_factor": args.broadcast_cost,
+                "num_processors": args.processors,
+                "cache_capacity_blocks": 4096,
+            },
+        )
     )
-    workload = SyntheticCommercialWorkload(name, operations_per_processor=args.operations)
-    return simulate(config, workload).performance
 
 
 def main() -> None:
@@ -44,24 +67,33 @@ def main() -> None:
     parser.add_argument("--broadcast-cost", type=float, default=4.0,
                         help="relative bandwidth cost of a broadcast (paper uses 4 in Fig. 11/12)")
     parser.add_argument("--processors", type=int, default=16)
-    parser.add_argument("--operations", type=int, default=120, help="misses per processor")
-    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="fan sweep points across N processes")
+    parser.add_argument("--cache-dir", default=None,
+                        help="memoise completed points on disk")
     args = parser.parse_args()
 
+    scenario = build_scenario(args)
+    result = run_scenario(
+        scenario.name, scale=QUICK, workers=args.workers, cache_dir=args.cache_dir
+    )
+
+    # The unified frame replaces the hand-rolled normalisation loop: one
+    # derived column of performance vs the BASH baseline, per workload.
+    speedups = result.frame.speedup()
+    bars = {
+        preset(name).name: {
+            str(row["protocol"]): row["speedup"]
+            for row in speedups.filter(workload=name).rows()
+        }
+        for name in speedups.unique("workload")
+    }
     print(
         f"Synthetic commercial workloads: {args.processors} processors, "
         f"{args.bandwidth:.0f} MB/s, {args.broadcast_cost:.0f}x broadcast cost\n"
     )
-    print(f"{'workload':>12} {'description':<40} "
-          + "".join(f"{str(p):>11}" for p in PROTOCOLS))
-    for name in WORKLOAD_ORDER:
-        performances = {p: run_workload(name, p, args) for p in PROTOCOLS}
-        bash = performances[ProtocolName.BASH] or 1.0
-        description = preset(name).description.split(":")[0]
-        row = "".join(f"{performances[p] / bash:>11.2f}" for p in PROTOCOLS)
-        print(f"{preset(name).name:>12} {description:<40}{row}")
-    print("\nValues are normalised to BASH (1.00); higher is better.")
-    print("As in Figure 12, BASH should match or exceed the better static "
+    print(format_bars("Normalised to BASH (1.000); higher is better", bars))
+    print("\nAs in Figure 12, BASH should match or exceed the better static "
           "protocol on every workload.")
 
 

@@ -1,0 +1,187 @@
+"""Command-line front end for the scenario engine: ``python -m repro``.
+
+Runs any registered scenario — the paper's figures or the non-paper
+studies — without writing Python::
+
+    python -m repro list
+    python -m repro run figure1 --scale quick
+    python -m repro run figure10 --scale paper --workers 8 \\
+        --cache-dir ~/.cache/repro-sweeps
+    python -m repro run migratory --axis bandwidth=800,3200 --json results.json
+
+``--workers`` fans sweep points across a process pool, ``--cache-dir``
+memoises completed points on disk (so an interrupted PAPER-scale campaign
+resumes instead of recomputing; ``$REPRO_SWEEP_CACHE`` supplies the default),
+``--axis name=v1,v2,...`` overrides any axis grid of a grid scenario, and
+``--json`` exports the full result (unified frame included) for downstream
+plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .errors import ReproError
+from .experiments.scenario import (
+    SCALES,
+    SCENARIOS,
+    get_scenario,
+    run_scenario,
+)
+
+
+def _parse_axis_value(text: str):
+    """Parse one axis value: int, then float, then bare string (protocol names)."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_axis_overrides(entries: Optional[List[str]]):
+    """Parse repeated ``--axis name=v1,v2`` options into an override mapping."""
+    if not entries:
+        return None
+    overrides = {}
+    for entry in entries:
+        name, separator, values = entry.partition("=")
+        if not separator or not values:
+            raise argparse.ArgumentTypeError(
+                f"--axis expects name=v1,v2,... (got {entry!r})"
+            )
+        overrides[name.strip()] = tuple(
+            _parse_axis_value(value.strip()) for value in values.split(",")
+        )
+    return overrides
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the paper-reproduction scenarios from the command line.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = commands.add_parser(
+        "list", help="list every registered scenario"
+    )
+    list_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+
+    run_parser = commands.add_parser(
+        "run", help="run one scenario and print (or export) its results"
+    )
+    run_parser.add_argument("scenario", help="a scenario name from `list`")
+    run_parser.add_argument(
+        "--scale", default="quick", metavar="NAME",
+        help=f"experiment scale ({', '.join(sorted(SCALES))}; default: quick)",
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="fan sweep points across N worker processes (0 = auto)",
+    )
+    run_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="memoise completed sweep points under DIR (resumable campaigns; "
+        "$REPRO_SWEEP_CACHE supplies the default)",
+    )
+    run_parser.add_argument(
+        "--axis", action="append", metavar="NAME=V1,V2", dest="axes",
+        help="override an axis grid of a grid scenario (repeatable)",
+    )
+    run_parser.add_argument(
+        "--json", dest="json_path", default=None, metavar="FILE",
+        help="write the full result (data + unified frame) as JSON to FILE "
+        "('-' for stdout)",
+    )
+    run_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stdout format when --json is not given (default: text)",
+    )
+    return parser
+
+
+def _command_list(args) -> int:
+    # Sorted with the paper's figures first (figure1..figure12, table1),
+    # then the non-paper scenarios alphabetically.
+    def sort_key(name: str):
+        suffix = name[len("figure"):]
+        if name.startswith("figure") and suffix.isdigit():
+            return (0, int(suffix), name)
+        if name.startswith("table"):
+            return (1, 0, name)
+        return (2, 0, name)
+
+    names = sorted(SCENARIOS, key=sort_key)
+    if args.format == "json":
+        payload = [
+            {
+                "name": name,
+                "kind": SCENARIOS[name].kind,
+                "title": SCENARIOS[name].title,
+                "description": SCENARIOS[name].description,
+            }
+            for name in names
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    width = max(len(name) for name in names)
+    print(f"{len(names)} scenarios registered "
+          f"(run with: python -m repro run <name> [--scale quick|paper])\n")
+    for name in names:
+        scenario = SCENARIOS[name]
+        kind = "sweep" if scenario.kind == "grid" else "static"
+        print(f"  {name:<{width}}  [{kind}]  {scenario.title}")
+    return 0
+
+
+def _command_run(args) -> int:
+    scenario = get_scenario(args.scenario)
+    axes = _parse_axis_overrides(args.axes)
+    result = run_scenario(
+        scenario.name,
+        scale=args.scale,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        axes=axes,
+    )
+    if args.json_path is not None:
+        payload = json.dumps(result.to_jsonable(), indent=2, sort_keys=True)
+        if args.json_path == "-":
+            print(payload)
+        else:
+            with open(args.json_path, "w") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote {args.scenario} [{result.scale}] to {args.json_path}")
+        return 0
+    if args.format == "json":
+        print(json.dumps(result.to_jsonable(), indent=2, sort_keys=True))
+    else:
+        print(result.text())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _command_list(args)
+        return _command_run(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except argparse.ArgumentTypeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

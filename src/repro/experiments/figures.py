@@ -20,6 +20,16 @@ Figure 11 ``figure11_workloads_4x_broadcast``
 Figure 12 ``figure12_workload_bars``
 Table 1   ``table1_complexity``
 ========  ==========================================================
+
+Since the scenario-engine refactor these drivers are thin wrappers over the
+:data:`repro.experiments.scenario.SCENARIOS` registry: each sweep figure is a
+declarative :class:`~repro.experiments.scenario.GridScenario` expanded and
+executed by :class:`~repro.experiments.study.StudyGrid`, and the drivers
+merely translate their legacy keyword arguments into axis/fixed overrides.
+Their outputs are pinned field-identical to the pre-engine implementations
+(``tests/experiments/test_figure_snapshots.py``), and every driver now
+threads ``workers``/``cache_dir`` through to the sweep executor.  The same
+scenarios run from the command line: ``python -m repro run figure1``.
 """
 
 from __future__ import annotations
@@ -27,8 +37,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..common.config import ProtocolName, SystemConfig
-from ..coherence.state import MOSIState
-from ..interconnect.message import MessageType
 from ..protocols.bash.adaptive import utilization_counter_trace
 from ..protocols.complexity import PAPER_TABLE_1, complexity_table
 from ..queueing.mva import delay_versus_utilization
@@ -36,18 +44,14 @@ from ..system.multiprocessor import MultiprocessorSystem
 from ..workloads.base import MemoryOperation
 from ..workloads.presets import WORKLOAD_ORDER
 from ..workloads.trace import TraceWorkload
-from .parallel import PointSpec, run_sweep, sweep_curves
 from .runner import (
     PROTOCOLS,
     QUICK,
     ExperimentScale,
     SweepPoint,
-    microbenchmark_factory,
     normalize_to,
-    protocol_sweep,
-    run_point,
-    synthetic_factory,
 )
+from .scenario import link_utilization_curves, run_scenario
 
 Curves = Dict[ProtocolName, List[SweepPoint]]
 
@@ -67,23 +71,35 @@ def figure1_microbenchmark_performance(
     ``workers``/``cache_dir`` fan the sweep across processes and memoise
     completed points on disk (see :mod:`repro.experiments.parallel`).
     """
-    return protocol_sweep(
-        scale,
-        bandwidths or scale.bandwidth_points,
-        microbenchmark_factory(scale),
-        num_processors=num_processors,
+    return run_scenario(
+        "figure1",
+        scale=scale,
         workers=workers,
         cache_dir=cache_dir,
-    )
+        axes={"bandwidth": tuple(bandwidths)} if bandwidths else None,
+        fixed=(
+            {"num_processors": num_processors} if num_processors is not None else None
+        ),
+    ).data
 
 
 def figure5_normalized_performance(
-    curves: Optional[Curves] = None, scale: ExperimentScale = QUICK
+    curves: Optional[Curves] = None,
+    scale: ExperimentScale = QUICK,
+    workers: Optional[int] = None,
+    cache_dir=None,
 ) -> Dict[ProtocolName, List[float]]:
-    """The Figure 1 data normalised to BASH (Figure 5)."""
-    if curves is None:
-        curves = figure1_microbenchmark_performance(scale)
-    return normalize_to(curves, ProtocolName.BASH)
+    """The Figure 1 data normalised to BASH (Figure 5).
+
+    When ``curves`` is not supplied, the Figure 1 sweep runs through the
+    scenario engine with ``workers``/``cache_dir`` forwarded (historically it
+    re-ran serially and uncached regardless of what the caller asked for).
+    """
+    if curves is not None:
+        return normalize_to(curves, ProtocolName.BASH)
+    return run_scenario(
+        "figure5", scale=scale, workers=workers, cache_dir=cache_dir
+    ).data
 
 
 # ----------------------------------------------------------------------- Fig 2
@@ -178,18 +194,17 @@ def _single_transfer(
 
 
 def figure6_link_utilization(
-    curves: Optional[Curves] = None, scale: ExperimentScale = QUICK
+    curves: Optional[Curves] = None,
+    scale: ExperimentScale = QUICK,
+    workers: Optional[int] = None,
+    cache_dir=None,
 ) -> Dict[ProtocolName, List[Dict[str, float]]]:
     """Endpoint link utilization vs available bandwidth (Figure 6)."""
-    if curves is None:
-        curves = figure1_microbenchmark_performance(scale)
-    return {
-        protocol: [
-            {"bandwidth": point.x, "utilization": point.link_utilization}
-            for point in points
-        ]
-        for protocol, points in curves.items()
-    }
+    if curves is not None:
+        return link_utilization_curves(curves)
+    return run_scenario(
+        "figure6", scale=scale, workers=workers, cache_dir=cache_dir
+    ).data
 
 
 # ----------------------------------------------------------------------- Fig 7
@@ -203,24 +218,12 @@ def figure7_threshold_sensitivity(
     cache_dir=None,
 ) -> Dict[float, List[SweepPoint]]:
     """BASH performance vs bandwidth for several utilization thresholds."""
-    points = tuple(bandwidths or scale.bandwidth_points)
-    workload = microbenchmark_factory(scale)
-    specs = [
-        PointSpec(
-            scale=scale,
-            protocol=ProtocolName.BASH,
-            bandwidth=bandwidth,
-            workload=workload,
-            threshold=threshold,
-        )
-        for threshold in thresholds
-        for bandwidth in points
-    ]
-    results = run_sweep(specs, workers=workers, cache_dir=cache_dir)
-    sweeps: Dict[float, List[SweepPoint]] = {t: [] for t in thresholds}
-    for spec, point in zip(specs, results):
-        sweeps[spec.threshold].append(point)
-    return sweeps
+    axes = {"threshold": tuple(thresholds)}
+    if bandwidths:
+        axes["bandwidth"] = tuple(bandwidths)
+    return run_scenario(
+        "figure7", scale=scale, workers=workers, cache_dir=cache_dir, axes=axes
+    ).data
 
 
 # ----------------------------------------------------------------------- Fig 8
@@ -234,22 +237,16 @@ def figure8_system_size(
     cache_dir=None,
 ) -> Curves:
     """Performance per processor vs system size at fixed per-processor bandwidth."""
-    counts = tuple(processor_counts or scale.processor_counts)
-    workload = microbenchmark_factory(scale)
-    specs = [
-        PointSpec(
-            scale=scale,
-            protocol=protocol,
-            bandwidth=bandwidth_per_processor,
-            workload=workload,
-            x_value=count,
-            num_processors=count,
-        )
-        for protocol in PROTOCOLS
-        for count in counts
-    ]
-    results = run_sweep(specs, workers=workers, cache_dir=cache_dir)
-    return sweep_curves(specs, results, PROTOCOLS)
+    return run_scenario(
+        "figure8",
+        scale=scale,
+        workers=workers,
+        cache_dir=cache_dir,
+        axes=(
+            {"num_processors": tuple(processor_counts)} if processor_counts else None
+        ),
+        fixed={"bandwidth": bandwidth_per_processor},
+    ).data
 
 
 # ----------------------------------------------------------------------- Fig 9
@@ -264,24 +261,29 @@ def figure9_think_time(
     cache_dir=None,
 ) -> Curves:
     """Average miss latency vs think time (workload intensity, Figure 9)."""
-    thinks = tuple(think_times if think_times is not None else scale.think_times)
-    specs = [
-        PointSpec(
-            scale=scale,
-            protocol=protocol,
-            bandwidth=bandwidth,
-            workload=microbenchmark_factory(scale, think_cycles=think),
-            x_value=think,
-            num_processors=num_processors,
-        )
-        for protocol in PROTOCOLS
-        for think in thinks
-    ]
-    results = run_sweep(specs, workers=workers, cache_dir=cache_dir)
-    return sweep_curves(specs, results, PROTOCOLS)
+    fixed: Dict[str, object] = {"bandwidth": bandwidth}
+    if num_processors is not None:
+        fixed["num_processors"] = num_processors
+    return run_scenario(
+        "figure9",
+        scale=scale,
+        workers=workers,
+        cache_dir=cache_dir,
+        axes=(
+            {"think_time": tuple(think_times)} if think_times is not None else None
+        ),
+        fixed=fixed,
+    ).data
 
 
 # ----------------------------------------------------------------- Fig 10 / 11
+
+
+def _workload_axis(
+    workloads: Sequence[str], include_microbenchmark: bool
+) -> tuple:
+    prefix = ("microbenchmark",) if include_microbenchmark else ()
+    return prefix + tuple(workloads)
 
 
 def figure10_workloads(
@@ -294,30 +296,19 @@ def figure10_workloads(
     cache_dir=None,
 ) -> Dict[str, Curves]:
     """Performance vs bandwidth for the commercial workloads (16 processors)."""
-    sweeps: Dict[str, Curves] = {}
-    points = bandwidths or scale.workload_bandwidth_points
-    if include_microbenchmark:
-        sweeps["microbenchmark"] = protocol_sweep(
-            scale,
-            points,
-            microbenchmark_factory(scale),
-            num_processors=scale.workload_processors,
-            broadcast_cost_factor=broadcast_cost_factor,
-            workers=workers,
-            cache_dir=cache_dir,
-        )
-    for name in workloads:
-        sweeps[name] = protocol_sweep(
-            scale,
-            points,
-            synthetic_factory(scale, name),
-            num_processors=scale.workload_processors,
-            broadcast_cost_factor=broadcast_cost_factor,
-            cache_capacity_blocks=4096,
-            workers=workers,
-            cache_dir=cache_dir,
-        )
-    return sweeps
+    axes: Dict[str, tuple] = {
+        "workload": _workload_axis(workloads, include_microbenchmark)
+    }
+    if bandwidths:
+        axes["bandwidth"] = tuple(bandwidths)
+    return run_scenario(
+        "figure10",
+        scale=scale,
+        workers=workers,
+        cache_dir=cache_dir,
+        axes=axes,
+        fixed={"broadcast_cost_factor": broadcast_cost_factor},
+    ).data
 
 
 def figure11_workloads_4x_broadcast(
@@ -329,15 +320,14 @@ def figure11_workloads_4x_broadcast(
     cache_dir=None,
 ) -> Dict[str, Curves]:
     """Figure 10 repeated with a 4x broadcast bandwidth cost (larger-system proxy)."""
-    return figure10_workloads(
-        scale,
-        workloads=workloads,
-        bandwidths=bandwidths,
-        broadcast_cost_factor=4.0,
-        include_microbenchmark=include_microbenchmark,
-        workers=workers,
-        cache_dir=cache_dir,
-    )
+    axes: Dict[str, tuple] = {
+        "workload": _workload_axis(workloads, include_microbenchmark)
+    }
+    if bandwidths:
+        axes["bandwidth"] = tuple(bandwidths)
+    return run_scenario(
+        "figure11", scale=scale, workers=workers, cache_dir=cache_dir, axes=axes
+    ).data
 
 
 # ---------------------------------------------------------------------- Fig 12
@@ -347,25 +337,22 @@ def figure12_workload_bars(
     scale: ExperimentScale = QUICK,
     workloads: Sequence[str] = WORKLOAD_ORDER,
     bandwidth: float = 1600.0,
+    workers: Optional[int] = None,
+    cache_dir=None,
 ) -> Dict[str, Dict[str, float]]:
     """Per-workload performance at 1600 MB/s with 4x broadcast cost, vs BASH.
 
     Returns, per workload, each protocol's performance normalised to BASH
     (the bar chart of Figure 12).
     """
-    sweeps = figure11_workloads_4x_broadcast(
-        scale, workloads=workloads, bandwidths=(bandwidth,), include_microbenchmark=False
-    )
-    bars: Dict[str, Dict[str, float]] = {}
-    for name, curves in sweeps.items():
-        bash_perf = curves[ProtocolName.BASH][0].performance
-        bars[name] = {
-            str(protocol): (
-                points[0].performance / bash_perf if bash_perf else 0.0
-            )
-            for protocol, points in curves.items()
-        }
-    return bars
+    return run_scenario(
+        "figure12",
+        scale=scale,
+        workers=workers,
+        cache_dir=cache_dir,
+        axes={"workload": tuple(workloads)},
+        fixed={"bandwidth": bandwidth},
+    ).data
 
 
 # --------------------------------------------------------------------- Table 1

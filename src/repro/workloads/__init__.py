@@ -2,6 +2,16 @@
 
 from .base import MemoryOperation, Workload
 from .microbenchmark import LockingMicrobenchmark
+from .patterns import (
+    MigratoryWorkload,
+    MigratoryWorkloadSpec,
+    MixedTraceWorkloadSpec,
+    ProducerConsumerWorkload,
+    ProducerConsumerWorkloadSpec,
+    ReadMostlyWorkload,
+    ReadMostlyWorkloadSpec,
+    build_mixed_trace,
+)
 from .presets import WORKLOAD_ORDER, WORKLOAD_PRESETS, WorkloadPreset, preset
 from .synthetic import SyntheticCommercialWorkload
 from .trace import TraceWorkload
@@ -12,6 +22,14 @@ __all__ = [
     "LockingMicrobenchmark",
     "SyntheticCommercialWorkload",
     "TraceWorkload",
+    "MigratoryWorkload",
+    "MigratoryWorkloadSpec",
+    "MixedTraceWorkloadSpec",
+    "ProducerConsumerWorkload",
+    "ProducerConsumerWorkloadSpec",
+    "ReadMostlyWorkload",
+    "ReadMostlyWorkloadSpec",
+    "build_mixed_trace",
     "WorkloadPreset",
     "WORKLOAD_PRESETS",
     "WORKLOAD_ORDER",

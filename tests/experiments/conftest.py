@@ -1,0 +1,20 @@
+"""Shared fixtures for the experiment-harness tests."""
+
+from repro.experiments.runner import ExperimentScale
+
+#: A miniature scale so the harness tests stay fast.
+TINY = ExperimentScale(
+    name="tiny",
+    microbenchmark_processors=4,
+    workload_processors=4,
+    acquires_per_processor=15,
+    operations_per_processor=15,
+    num_locks=64,
+    bandwidth_points=(800, 6400),
+    workload_bandwidth_points=(1600,),
+    processor_counts=(4,),
+    think_times=(0,),
+    sampling_interval=64,
+    policy_counter_bits=5,
+    seeds=(1,),
+)

@@ -1,0 +1,136 @@
+"""The `python -m repro` command line: list, run, overrides, exports."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cli import main
+from repro.experiments.scenario import SCENARIOS
+
+
+class TestList:
+    def test_lists_every_registered_scenario(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_json_listing(self, capsys):
+        assert main(["list", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["name"] for entry in payload} == set(SCENARIOS)
+        assert all(entry["kind"] in ("grid", "analytic") for entry in payload)
+
+
+class TestRun:
+    def test_analytic_scenario(self, capsys):
+        assert main(["run", "figure3"]) == 0
+        out = capsys.readouterr().out
+        assert "counter_values" in out
+
+    def test_grid_scenario_with_axis_overrides(self, capsys):
+        # One (protocol, bandwidth) point so the CLI test stays fast.
+        assert main(
+            ["run", "figure1", "--scale", "quick",
+             "--axis", "bandwidth=1600", "--axis", "protocol=bash"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bash" in out and "1600" in out
+
+    def test_json_export_round_trips_the_frame(self, capsys, tmp_path):
+        from repro.experiments.study import ResultFrame
+
+        target = tmp_path / "result.json"
+        assert main(
+            ["run", "figure1", "--axis", "bandwidth=1600",
+             "--axis", "protocol=bash", "--json", str(target)]
+        ) == 0
+        payload = json.loads(target.read_text())
+        assert payload["scenario"] == "figure1"
+        assert payload["scale"] == "quick"
+        frame = ResultFrame.from_json(payload["frame"])
+        assert len(frame) == 1
+        assert frame.column("performance")[0] > 0
+
+    def test_json_to_stdout(self, capsys):
+        assert main(["run", "table1", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["data"]["paper"]["BASH"]["total_transitions"] == 114
+        assert payload["frame"] is None
+
+    def test_cache_dir_resumes(self, capsys, tmp_path):
+        args = ["run", "figure1", "--axis", "bandwidth=1600",
+                "--axis", "protocol=bash", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert list(tmp_path.glob("*.json"))
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["run", "figure99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+
+    def test_malformed_axis_fails_cleanly(self, capsys):
+        assert main(["run", "figure1", "--axis", "bandwidth"]) == 2
+        assert "--axis expects" in capsys.readouterr().err
+
+    def test_unknown_axis_fails_cleanly(self, capsys):
+        assert main(["run", "figure1", "--axis", "volume=11"]) == 2
+        assert "unknown axis" in capsys.readouterr().err
+
+    def test_mistyped_protocol_fails_cleanly(self, capsys):
+        assert main(["run", "figure1", "--axis", "protocol=bsah"]) == 2
+        assert "invalid protocol" in capsys.readouterr().err
+
+    def test_dropping_the_bash_baseline_fails_cleanly(self, capsys):
+        # figure5 normalises to BASH; an override omitting it must produce
+        # the clean error path, not a KeyError traceback after the sweep.
+        assert main(
+            ["run", "figure5", "--axis", "protocol=snooping",
+             "--axis", "bandwidth=1600"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "could not present" in err
+
+    def test_list_survives_custom_figure_prefixed_names(self, capsys):
+        from repro.experiments.scenario import AnalyticScenario, register
+
+        register(
+            AnalyticScenario(
+                name="figureX_custom",
+                title="custom",
+                description="registered by the test suite",
+                compute=lambda scale: {},
+            )
+        )
+        try:
+            assert main(["list"]) == 0
+            assert "figureX_custom" in capsys.readouterr().out
+        finally:
+            SCENARIOS.pop("figureX_custom", None)
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        # The real subprocess path: `python -m repro list` must work from a
+        # clean interpreter (this is what the CI smoke step runs).
+        repo_root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(repo_root / "src")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            check=False,
+            cwd=repo_root,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "figure1" in result.stdout

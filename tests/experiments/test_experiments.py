@@ -19,29 +19,13 @@ from repro.experiments import (
     table1_complexity,
 )
 from repro.experiments.runner import (
-    ExperimentScale,
     microbenchmark_factory,
     normalize_to,
     protocol_sweep,
     run_point,
 )
 
-#: A miniature scale so the harness tests stay fast.
-TINY = ExperimentScale(
-    name="tiny",
-    microbenchmark_processors=4,
-    workload_processors=4,
-    acquires_per_processor=15,
-    operations_per_processor=15,
-    num_locks=64,
-    bandwidth_points=(800, 6400),
-    workload_bandwidth_points=(1600,),
-    processor_counts=(4,),
-    think_times=(0,),
-    sampling_interval=64,
-    policy_counter_bits=5,
-    seeds=(1,),
-)
+from .conftest import TINY
 
 
 class TestRunner:
@@ -154,3 +138,19 @@ class TestReportFormatting:
     def test_format_bars(self):
         text = format_bars("Figure 12", {"oltp": {"bash": 1.0, "snooping": 0.9}})
         assert "oltp" in text
+
+    def test_format_curves_guards_mismatched_grids(self):
+        # Mirroring the normalize_to guard: curves measured on different x
+        # grids must raise a clear error instead of silently misaligning
+        # rows against the first protocol's x values.
+        curves = protocol_sweep(
+            TINY, (1600,), microbenchmark_factory(TINY),
+            protocols=(ProtocolName.SNOOPING, ProtocolName.BASH),
+        )
+        extra = protocol_sweep(
+            TINY, (3200,), microbenchmark_factory(TINY),
+            protocols=(ProtocolName.SNOOPING,),
+        )
+        curves[ProtocolName.SNOOPING].extend(extra[ProtocolName.SNOOPING])
+        with pytest.raises(ValueError, match="mismatched sweep grids"):
+            format_curves("Figure 1", curves)

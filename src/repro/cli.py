@@ -15,6 +15,17 @@ resumes instead of recomputing; ``$REPRO_SWEEP_CACHE`` supplies the default),
 ``--axis name=v1,v2,...`` overrides any axis grid of a grid scenario, and
 ``--json`` exports the full result (unified frame included) for downstream
 plotting.
+
+``verify`` runs the protocol verification campaigns — differential trace
+replays across all three protocols plus the random tester, with mid-run
+invariant monitoring and failure-trace shrinking::
+
+    python -m repro verify --campaign quick
+    python -m repro verify --campaign deep --workers 8 --seed-range 0:100
+    python -m repro verify --protocol directory --json -
+
+A failing campaign exits nonzero and (with ``--artifact-dir``) writes each
+shrunk failing trace as a replayable JSON artifact.
 """
 
 from __future__ import annotations
@@ -31,6 +42,22 @@ from .experiments.scenario import (
     get_scenario,
     run_scenario,
 )
+from .verification.campaign import CAMPAIGNS, run_campaign
+
+
+def _parse_seed_range(text: Optional[str]):
+    """Parse ``A:B`` (half-open, like range) into an explicit seed list."""
+    if text is None:
+        return None
+    start, separator, stop = text.partition(":")
+    try:
+        if not separator:
+            return [int(start)]
+        return list(range(int(start), int(stop)))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--seed-range expects A:B or a single seed (got {text!r})"
+        ) from None
 
 
 def _parse_axis_value(text: str):
@@ -105,6 +132,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "--format", choices=("text", "json"), default="text",
         help="stdout format when --json is not given (default: text)",
     )
+
+    verify_parser = commands.add_parser(
+        "verify",
+        help="fuzz all three protocols differentially and check invariants",
+    )
+    verify_parser.add_argument(
+        "--campaign", default="quick", choices=sorted(CAMPAIGNS),
+        help="campaign preset (default: quick)",
+    )
+    verify_parser.add_argument(
+        "--protocol", action="append", dest="protocols", metavar="NAME",
+        choices=("snooping", "directory", "bash"),
+        help="restrict to one or more protocols (repeatable; "
+        "default: snooping, directory and bash)",
+    )
+    verify_parser.add_argument(
+        "--seed-range", default=None, metavar="A:B",
+        help="override the campaign's seeds with range(A, B)",
+    )
+    verify_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="fan verification tasks across N worker processes (0 = auto)",
+    )
+    verify_parser.add_argument(
+        "--artifact-dir", default=None, metavar="DIR",
+        help="write each shrunk failing trace as a replayable JSON artifact "
+        "under DIR",
+    )
+    verify_parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip shrinking failing traces to minimal reproducers",
+    )
+    verify_parser.add_argument(
+        "--json", dest="json_path", default=None, metavar="FILE",
+        help="write the campaign result as JSON to FILE ('-' for stdout)",
+    )
     return parser
 
 
@@ -168,12 +231,49 @@ def _command_run(args) -> int:
     return 0
 
 
+def _command_verify(args) -> int:
+    result = run_campaign(
+        args.campaign,
+        workers=args.workers,
+        protocols=args.protocols,
+        seeds=_parse_seed_range(args.seed_range),
+        artifact_dir=args.artifact_dir,
+        shrink=not args.no_shrink,
+    )
+    payload = None
+    if args.json_path is not None:
+        payload = json.dumps(result.to_jsonable(), indent=2, sort_keys=True)
+        if args.json_path == "-":
+            print(payload)
+        else:
+            with open(args.json_path, "w") as handle:
+                handle.write(payload + "\n")
+    if args.json_path != "-":
+        print(result.summary())
+        for failure in result.failures:
+            print(f"  FAILED {failure.task.describe()}")
+            for line in failure.failures[:5]:
+                print(f"    {line}")
+            if failure.shrunk_trace is not None:
+                print(
+                    f"    shrunk to {len(failure.shrunk_trace.ops)} op(s)"
+                    + (
+                        f" -> {failure.artifact_path}"
+                        if failure.artifact_path
+                        else ""
+                    )
+                )
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     try:
         if args.command == "list":
             return _command_list(args)
+        if args.command == "verify":
+            return _command_verify(args)
         return _command_run(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -58,8 +58,15 @@ class BatchRunner:
 
     # ------------------------------------------------------------------ runs
 
-    def run_config(self, config: SystemConfig, workload) -> RunResult:
-        """Run one (config, workload) pair on the pooled system for its key."""
+    def acquire(self, config: SystemConfig, workload) -> MultiprocessorSystem:
+        """A built system for ``config``, reset and ready to run ``workload``.
+
+        The pooled system for the config's batch key is reset in place when
+        one exists; otherwise a fresh system is built (and kept).  Callers
+        that drive the system themselves — the verification engine replays
+        traces through the cache controllers directly — use this instead of
+        :meth:`run_config`.
+        """
         key = (ProtocolName(config.protocol), config.num_processors)
         system = self._systems.get(key)
         if system is None:
@@ -68,6 +75,11 @@ class BatchRunner:
             self.systems_built += 1
         else:
             system.reset(workload, config)
+        return system
+
+    def run_config(self, config: SystemConfig, workload) -> RunResult:
+        """Run one (config, workload) pair on the pooled system for its key."""
+        system = self.acquire(config, workload)
         self.runs_completed += 1
         return system.run()
 

@@ -60,6 +60,20 @@ CACHE_VERSION = 1
 #: Environment variable consulted when ``workers`` is not given explicitly.
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 
+#: Exceptions that demote a process-pool attempt to the serial fallback path:
+#: restricted sandboxes (no semaphores / fork), missing multiprocessing
+#: support, and payloads that turn out not to pickle.  Shared with the
+#: verification campaign executor, which mirrors this executor's fallback
+#: behaviour.
+POOL_FALLBACK_ERRORS = (
+    OSError,
+    ImportError,
+    RuntimeError,
+    pickle.PicklingError,
+    AttributeError,
+    TypeError,
+)
+
 #: Environment variable consulted when ``cache_dir`` is not given explicitly:
 #: point it at a directory and every sweep (including the PAPER-scale figure
 #: drivers) memoises its points there, so an interrupted reproduction resumes
@@ -339,7 +353,7 @@ def run_sweep(
                     points = future.result() if batch else [future.result()]
                     for index, point in zip(chunk, points):
                         finish(index, point)
-        except (OSError, ImportError, RuntimeError, pickle.PicklingError, AttributeError, TypeError):
+        except POOL_FALLBACK_ERRORS:
             # Restricted environments (no semaphores / fork) and specs that
             # turn out not to pickle fall back to the serial path (points the
             # pool did complete are kept).  A genuine simulation error

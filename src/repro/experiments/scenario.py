@@ -579,6 +579,46 @@ register(
 )
 
 
+def _compute_verification(scale: ExperimentScale) -> Dict:
+    # Imported here, not at module top: the verification campaign imports
+    # this package's sweep machinery.
+    from ..verification.campaign import run_campaign
+
+    # AnalyticScenario.run drops the sweep-engine knobs (workers, cache dir),
+    # so the deep campaign asks for the auto worker pool itself — thousands
+    # of tasks must not run serially by accident.  `python -m repro verify`
+    # is the front end with full control.
+    campaign = "quick" if scale.name == "quick" else "deep"
+    return run_campaign(campaign, workers=None if campaign == "quick" else 0).to_jsonable()
+
+
+def _render_verification(result: ScenarioResult) -> str:
+    data = result.data
+    status = "PASS" if data["ok"] else f"FAIL ({len(data['failures'])} task(s))"
+    return (
+        f"verification [{data['campaign']}]: {status} — {data['tasks']} tasks, "
+        f"{data['differential_traces']} differential traces, "
+        f"{data['protocol_runs']} protocol runs, {data['operations']} "
+        f"operations in {data['wall_seconds']}s"
+    )
+
+
+register(
+    AnalyticScenario(
+        name="verification",
+        title="Differential protocol-verification campaign",
+        description=(
+            "Replay recorded random traces through all three protocols, "
+            "cross-check final memory images and load observations, and run "
+            "mid-run invariant monitoring (quick scale -> quick campaign, "
+            "paper scale -> deep campaign); see also `python -m repro verify`."
+        ),
+        compute=_compute_verification,
+        render=_render_verification,
+    )
+)
+
+
 # ---------------------------------------------- new (non-paper) scenarios
 
 

@@ -63,6 +63,8 @@ class Scheduler:
         "_compact_watermark",
         "_active_time",
         "on_fire",
+        "_fire_hooks",
+        "_installed_fire",
         "arena",
     )
 
@@ -87,7 +89,18 @@ class Scheduler:
         self._active_time: Optional[int] = None
         #: Optional per-fired-event hook ``(time, label) -> None`` used by the
         #: golden-trace tests and ad-hoc tracing; ``None`` costs one branch.
+        #: Multiple observers (e.g. a golden-trace recorder plus a
+        #: verification event ring buffer) subscribe through
+        #: :meth:`add_fire_hook`, which composes them into this one callable.
         self.on_fire: Optional[Callable[[int, str], None]] = None
+        #: Subscribed fire hooks backing the composed ``on_fire`` callable.
+        #: Empty while ``on_fire`` was assigned directly (the legacy single
+        #: -observer surface, still used by the golden-trace tests).
+        self._fire_hooks: List[Callable[[int, str], None]] = []
+        #: What the hook machinery last installed into ``on_fire``; a
+        #: mismatch at the next add/remove means the caller assigned
+        #: ``on_fire`` directly in between, and that assignment wins.
+        self._installed_fire: Optional[Callable[[int, str], None]] = None
         #: Optional :class:`repro.sim.arena.SimulationArena` shared by every
         #: component built on this scheduler.  Controllers and networks consult
         #: it once at construction to prebind their pooled allocation/release
@@ -105,6 +118,61 @@ class Scheduler:
     def fired(self) -> int:
         """Number of events executed so far."""
         return self._fired
+
+    # -------------------------------------------------------------- fire hooks
+
+    def add_fire_hook(self, hook: Callable[[int, str], None]) -> None:
+        """Subscribe ``hook(time, label)`` to every fired event.
+
+        Hooks compose: any number of observers may subscribe and each sees
+        every event, in subscription order.  Assigning ``on_fire`` directly
+        (the legacy single-observer surface) stays authoritative: whatever
+        was assigned since the last add/remove replaces the whole observer
+        set and is adopted as the sole base subscriber.  Hooks survive
+        :meth:`reset` like ``on_fire`` does — they belong to the harness
+        around the scheduler, not to one run.
+        """
+        self._sync_external_assignment()
+        self._fire_hooks.append(hook)
+        self._rebind_fire_hooks()
+
+    def remove_fire_hook(self, hook: Callable[[int, str], None]) -> None:
+        """Unsubscribe a hook added with :meth:`add_fire_hook` (idempotent)."""
+        self._sync_external_assignment()
+        try:
+            self._fire_hooks.remove(hook)
+        except ValueError:
+            return
+        self._rebind_fire_hooks()
+
+    def _sync_external_assignment(self) -> None:
+        """Adopt a direct ``on_fire`` assignment made since the last rebind.
+
+        The legacy surface wins: a caller that assigned (or cleared)
+        ``on_fire`` directly replaced the observer set, so the hook list is
+        rebuilt from the current value rather than resurrecting stale
+        subscribers.
+        """
+        if self.on_fire is not self._installed_fire:
+            self._fire_hooks.clear()
+            if self.on_fire is not None:
+                self._fire_hooks.append(self.on_fire)
+
+    def _rebind_fire_hooks(self) -> None:
+        hooks = self._fire_hooks
+        if not hooks:
+            self.on_fire = None
+        elif len(hooks) == 1:
+            self.on_fire = hooks[0]
+        else:
+            chain = tuple(hooks)
+
+            def _fan_out(time: int, label: str) -> None:
+                for fire_hook in chain:
+                    fire_hook(time, label)
+
+            self.on_fire = _fan_out
+        self._installed_fire = self.on_fire
 
     # -------------------------------------------------------------- scheduling
 

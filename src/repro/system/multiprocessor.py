@@ -222,6 +222,55 @@ class MultiprocessorSystem:
     def _workload_finished(self) -> bool:
         return self._running_sequencers == 0
 
+    # ------------------------------------------------------------ verification
+
+    def final_memory_image(self, addresses=None) -> Dict[int, int]:
+        """Per-block data tokens the machine would answer with at quiescence.
+
+        For every block address (the union of cache and directory records, or
+        the explicit ``addresses`` iterable), the token of the owning cache —
+        or, when no cache owns the block, the home directory's memory copy.
+        This is the observable "final memory state" the differential
+        verification engine compares across protocols.
+        """
+        if addresses is None:
+            touched = set()
+            for node in self.nodes:
+                for block in node.cache_controller.blocks:
+                    touched.add(block.address)
+                touched.update(node.memory_controller.directory.entries().keys())
+            addresses = sorted(touched)
+        image: Dict[int, int] = {}
+        for address in addresses:
+            token = 0
+            owner_found = False
+            for node in self.nodes:
+                block = node.cache_controller.blocks.get(address)
+                if block is not None and block.state.is_owner:
+                    token = block.data_token
+                    owner_found = True
+                    break
+            if not owner_found:
+                home = self.nodes[self.config.home_node(address)]
+                entry = home.memory_controller.directory.entries().get(address)
+                if entry is not None:
+                    token = entry.data_token
+            image[address] = token
+        return image
+
+    def outstanding_transactions(self) -> List:
+        """Every in-flight request or writeback, across all cache controllers.
+
+        Used by the verification watchdog's failure dump to show exactly what
+        was stuck when progress stopped.
+        """
+        outstanding = []
+        for node in self.nodes:
+            cache = node.cache_controller
+            outstanding.extend(cache.transactions.values())
+            outstanding.extend(cache.writebacks.values())
+        return outstanding
+
     # ----------------------------------------------------------------- metrics
 
     def mean_endpoint_utilization(self) -> float:

@@ -1,0 +1,657 @@
+"""Campaign engine: fuzz all three protocols at sweep-executor scale.
+
+A :class:`VerificationCampaign` fans verification *tasks* — differential
+trace replays (see :mod:`repro.verification.differential`) and random-tester
+runs (see :mod:`repro.verification.random_tester`) — across seeds × protocols
+× configuration axes (processors, hot blocks, bandwidth, outstanding
+operations per node, adaptive thresholds, cache capacity).  Execution mirrors
+the experiment sweep executor: tasks run on a process pool when workers are
+available (each worker keeps one :class:`~repro.experiments.batch.BatchRunner`
+whose pooled systems are *reset*, not rebuilt, between tasks) and fall back
+to a serial loop in restricted sandboxes.
+
+When a task fails, the campaign **shrinks** the failing trace to a minimal
+reproducer — greedy chunked op-removal, re-running the differential checker
+after every removal — and writes it as a replayable JSON artifact.  Load one
+back with :func:`load_artifact` / :func:`replay_artifact`, or from the shell::
+
+    python -m repro verify --campaign quick
+    python - <<'PY'
+    from repro.verification.campaign import replay_artifact
+    print(replay_artifact("verification-failures/....json").failures)
+    PY
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..common.config import ProtocolName
+from ..errors import VerificationError
+from ..experiments.batch import BatchRunner
+from ..experiments.parallel import POOL_FALLBACK_ERRORS, available_workers
+from .differential import (
+    ALL_PROTOCOLS,
+    MemoryTrace,
+    RACY,
+    ReplayConfig,
+    STRICT,
+    generate_trace,
+    run_differential,
+)
+from .random_tester import RandomProtocolTester
+
+#: Task kinds.
+DIFFERENTIAL = "differential"
+RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class VerificationTask:
+    """One unit of campaign work, picklable for the process pool."""
+
+    kind: str
+    seed: int
+    mode: str = RACY  # trace mode for differential tasks
+    protocols: Tuple[str, ...] = tuple(str(p) for p in ALL_PROTOCOLS)
+    num_processors: int = 4
+    num_blocks: int = 4
+    operations: int = 50
+    bandwidth_mb_per_second: float = 400.0
+    max_outstanding_per_node: int = 1
+    utilization_threshold: float = 0.75
+    cache_capacity_blocks: Optional[int] = None
+
+    def trace(self) -> MemoryTrace:
+        """The recorded trace a differential task replays."""
+        return generate_trace(
+            self.seed,
+            num_processors=self.num_processors,
+            num_blocks=self.num_blocks,
+            operations=self.operations,
+            mode=self.mode,
+        )
+
+    def replay_config(self) -> ReplayConfig:
+        return ReplayConfig(
+            bandwidth_mb_per_second=self.bandwidth_mb_per_second,
+            max_outstanding_per_node=self.max_outstanding_per_node,
+            utilization_threshold=self.utilization_threshold,
+            cache_capacity_blocks=self.cache_capacity_blocks,
+        )
+
+    def describe(self) -> str:
+        axes = (
+            f"seed={self.seed} p={self.num_processors} blocks={self.num_blocks} "
+            f"bw={self.bandwidth_mb_per_second:g} out={self.max_outstanding_per_node}"
+        )
+        if self.kind == DIFFERENTIAL:
+            return f"differential[{self.mode}] {axes}"
+        return f"random[{'+'.join(self.protocols)}] {axes}"
+
+    def to_jsonable(self) -> Dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_jsonable(cls, data: Dict) -> "VerificationTask":
+        """Rebuild a task written by :meth:`to_jsonable` (tuples restored)."""
+        return cls(**{**data, "protocols": tuple(data["protocols"])})
+
+
+@dataclass
+class TaskOutcome:
+    """What one task produced (picklable; crosses the pool boundary)."""
+
+    task: VerificationTask
+    ok: bool
+    failures: List[str] = field(default_factory=list)
+    protocol_runs: int = 0
+    operations: int = 0
+
+    def to_jsonable(self) -> Dict:
+        return {
+            "task": self.task.to_jsonable(),
+            "ok": self.ok,
+            "failures": list(self.failures),
+            "protocol_runs": self.protocol_runs,
+            "operations": self.operations,
+        }
+
+
+def run_task(
+    task: VerificationTask, runner: Optional[BatchRunner] = None
+) -> TaskOutcome:
+    """Execute one verification task, reusing ``runner``'s pooled systems."""
+    acquire = runner.acquire if runner is not None else None
+    if task.kind == DIFFERENTIAL:
+        trace = task.trace()
+        result = run_differential(
+            trace,
+            protocols=[ProtocolName(p) for p in task.protocols],
+            replay=task.replay_config(),
+            acquire=acquire,
+        )
+        return TaskOutcome(
+            task=task,
+            ok=result.ok,
+            failures=list(result.failures),
+            protocol_runs=len(result.results),
+            operations=len(trace.ops) * len(result.results),
+        )
+    if task.kind == RANDOM:
+        failures: List[str] = []
+        runs = 0
+        operations = 0
+        for protocol in task.protocols:
+            tester = RandomProtocolTester(
+                ProtocolName(protocol),
+                num_processors=task.num_processors,
+                num_blocks=task.num_blocks,
+                operations=task.operations,
+                seed=task.seed + 1,
+                bandwidth_mb_per_second=task.bandwidth_mb_per_second,
+                max_outstanding_per_node=task.max_outstanding_per_node,
+                acquire=acquire,
+            )
+            result = tester.run()
+            runs += 1
+            operations += result.operations_issued
+            if not result.ok:
+                failures.extend(result.describe_failures())
+        return TaskOutcome(
+            task=task,
+            ok=not failures,
+            failures=failures,
+            protocol_runs=runs,
+            operations=operations,
+        )
+    raise VerificationError(f"unknown verification task kind {task.kind!r}")
+
+
+# ------------------------------------------------------------------ shrinking
+
+
+def shrink_trace(
+    trace: MemoryTrace,
+    still_failing: Callable[[MemoryTrace], bool],
+    max_probes: int = 400,
+) -> MemoryTrace:
+    """Greedily remove operations while ``still_failing`` keeps returning True.
+
+    Classic chunked delta-reduction: try dropping halves, then quarters, down
+    to single operations, re-running the checker after every candidate
+    removal.  ``still_failing`` must be deterministic (differential replays
+    are).  ``max_probes`` bounds the total number of checker runs.
+    """
+    if not still_failing(trace):
+        raise VerificationError("shrink_trace called with a passing trace")
+    current = trace
+    probes = 0
+    chunk = max(1, len(current.ops) // 2)
+    while chunk >= 1:
+        start = 0
+        while start < len(current.ops):
+            if probes >= max_probes:
+                return current
+            keep = [
+                index
+                for index in range(len(current.ops))
+                if not (start <= index < start + chunk)
+            ]
+            if not keep:
+                start += chunk
+                continue
+            candidate = current.subset(keep)
+            probes += 1
+            if still_failing(candidate):
+                current = candidate
+            else:
+                start += chunk
+        chunk //= 2
+    return current
+
+
+def differential_failure_predicate(
+    task: VerificationTask, runner: Optional[BatchRunner] = None
+) -> Callable[[MemoryTrace], bool]:
+    """``still_failing`` for :func:`shrink_trace`: replay + differential check."""
+    acquire = runner.acquire if runner is not None else None
+    replay = task.replay_config()
+    protocols = [ProtocolName(p) for p in task.protocols]
+
+    def still_failing(candidate: MemoryTrace) -> bool:
+        result = run_differential(
+            candidate, protocols=protocols, replay=replay, acquire=acquire
+        )
+        return not result.ok
+
+    return still_failing
+
+
+# ------------------------------------------------------------------ artifacts
+
+
+def write_artifact(
+    directory: Path,
+    task: VerificationTask,
+    failures: Sequence[str],
+    shrunk: Optional[MemoryTrace],
+) -> Path:
+    """Persist a replayable JSON description of one campaign failure."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    # Every axis that distinguishes campaign tasks appears in the name, so
+    # two failing tasks can never overwrite each other's artifact.
+    capacity = (
+        "full" if task.cache_capacity_blocks is None else task.cache_capacity_blocks
+    )
+    name = (
+        f"{task.kind}-{task.mode}-seed{task.seed}-p{task.num_processors}"
+        f"-b{task.num_blocks}-bw{task.bandwidth_mb_per_second:g}"
+        f"-out{task.max_outstanding_per_node}"
+        f"-thr{task.utilization_threshold:g}-cap{capacity}.json"
+    )
+    path = directory / name
+    payload = {
+        "format": "repro-verification-failure-v1",
+        "task": task.to_jsonable(),
+        "replay_config": dataclasses.asdict(task.replay_config()),
+        "failures": list(failures),
+        "shrunk_trace": shrunk.to_jsonable() if shrunk is not None else None,
+        "replay_with": (
+            "python -c \"from repro.verification.campaign import replay_artifact; "
+            f"print(replay_artifact('{path}').failures)\""
+        ),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_artifact(path) -> Dict:
+    """Load a failure artifact written by :func:`write_artifact`."""
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != "repro-verification-failure-v1":
+        raise VerificationError(f"{path} is not a verification failure artifact")
+    return data
+
+
+def replay_artifact(path):
+    """Re-run the failing check recorded in a failure artifact.
+
+    Differential artifacts replay the shrunk trace when one was recorded
+    (the minimal reproducer), falling back to regenerating the original
+    trace from the task metadata, and return a
+    :class:`~repro.verification.differential.DifferentialResult`.
+    Random-tester artifacts re-run the recorded task exactly (same seed and
+    knobs) and return its :class:`TaskOutcome` — a differential replay of a
+    synthesised trace would not reproduce what actually failed.
+    """
+    data = load_artifact(path)
+    task = VerificationTask.from_jsonable(data["task"])
+    if task.kind != DIFFERENTIAL:
+        return run_task(task)
+    replay = ReplayConfig(**data["replay_config"])
+    if data.get("shrunk_trace"):
+        trace = MemoryTrace.from_jsonable(data["shrunk_trace"])
+    else:
+        trace = task.trace()
+    return run_differential(
+        trace, protocols=[ProtocolName(p) for p in task.protocols], replay=replay
+    )
+
+
+# ------------------------------------------------------------------ campaigns
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative description of a campaign: axes crossed with seeds."""
+
+    name: str
+    seeds: Tuple[int, ...]
+    modes: Tuple[str, ...] = (STRICT, RACY)
+    protocols: Tuple[str, ...] = tuple(str(p) for p in ALL_PROTOCOLS)
+    processors: Tuple[int, ...] = (4,)
+    blocks: Tuple[int, ...] = (4,)
+    operations: int = 50
+    bandwidths: Tuple[float, ...] = (400.0,)
+    outstanding: Tuple[int, ...] = (1,)
+    thresholds: Tuple[float, ...] = (0.75,)
+    capacities: Tuple[Optional[int], ...] = (None,)
+    random_seeds: Tuple[int, ...] = ()
+    random_operations: int = 150
+
+    def tasks(self) -> List[VerificationTask]:
+        """Expand the axis cross-product into the campaign's task list."""
+        expanded: List[VerificationTask] = []
+        for seed in self.seeds:
+            for mode in self.modes:
+                for num_processors in self.processors:
+                    for num_blocks in self.blocks:
+                        for bandwidth in self.bandwidths:
+                            for outstanding in self.outstanding:
+                                for threshold in self.thresholds:
+                                    for capacity in self.capacities:
+                                        expanded.append(
+                                            VerificationTask(
+                                                kind=DIFFERENTIAL,
+                                                seed=seed,
+                                                mode=mode,
+                                                protocols=self.protocols,
+                                                num_processors=num_processors,
+                                                num_blocks=num_blocks,
+                                                operations=self.operations,
+                                                bandwidth_mb_per_second=bandwidth,
+                                                max_outstanding_per_node=outstanding,
+                                                utilization_threshold=threshold,
+                                                cache_capacity_blocks=capacity,
+                                            )
+                                        )
+        for seed in self.random_seeds:
+            for outstanding in self.outstanding:
+                expanded.append(
+                    VerificationTask(
+                        kind=RANDOM,
+                        seed=seed,
+                        protocols=self.protocols,
+                        num_processors=self.processors[0],
+                        num_blocks=min(self.blocks),
+                        operations=self.random_operations,
+                        bandwidth_mb_per_second=self.bandwidths[0],
+                        max_outstanding_per_node=outstanding,
+                    )
+                )
+        return expanded
+
+    def with_overrides(
+        self,
+        protocols: Optional[Sequence[str]] = None,
+        seeds: Optional[Sequence[int]] = None,
+    ) -> "CampaignSpec":
+        """The same campaign restricted to other protocols and/or seeds."""
+        changes = {}
+        if protocols is not None:
+            changes["protocols"] = tuple(str(ProtocolName(p)) for p in protocols)
+        if seeds is not None:
+            changes["seeds"] = tuple(seeds)
+            if self.random_seeds:
+                changes["random_seeds"] = tuple(seeds)[: len(self.random_seeds)]
+        return dataclasses.replace(self, **changes)
+
+
+#: The CI smoke campaign: >= 50 differential traces x 3 protocols plus a
+#: handful of random-tester runs, sized to finish in well under 90 s.
+QUICK_CAMPAIGN = CampaignSpec(
+    name="quick",
+    seeds=tuple(range(7)),
+    modes=(STRICT, RACY),
+    bandwidths=(400.0, 1600.0),
+    outstanding=(1, 2),
+    operations=50,
+    random_seeds=(0, 1),
+    random_operations=150,
+)
+
+#: The overnight campaign: wider axes, deeper seeds.
+DEEP_CAMPAIGN = CampaignSpec(
+    name="deep",
+    seeds=tuple(range(40)),
+    modes=(STRICT, RACY),
+    processors=(4, 6),
+    blocks=(2, 4),
+    operations=80,
+    bandwidths=(200.0, 400.0, 3200.0),
+    outstanding=(1, 2),
+    thresholds=(0.6, 0.75),
+    capacities=(None, 2),
+    random_seeds=tuple(range(10)),
+    random_operations=300,
+)
+
+#: Named campaigns the CLI can select.
+CAMPAIGNS: Dict[str, CampaignSpec] = {
+    QUICK_CAMPAIGN.name: QUICK_CAMPAIGN,
+    DEEP_CAMPAIGN.name: DEEP_CAMPAIGN,
+}
+
+
+@dataclass
+class TaskFailure:
+    """One failed task, its shrunk reproducer and (optionally) its artifact."""
+
+    task: VerificationTask
+    failures: List[str]
+    shrunk_trace: Optional[MemoryTrace] = None
+    artifact_path: Optional[str] = None
+
+    def to_jsonable(self) -> Dict:
+        return {
+            "task": self.task.to_jsonable(),
+            "failures": list(self.failures),
+            "shrunk_ops": (
+                len(self.shrunk_trace.ops) if self.shrunk_trace is not None else None
+            ),
+            "shrunk_trace": (
+                self.shrunk_trace.to_jsonable()
+                if self.shrunk_trace is not None
+                else None
+            ),
+            "artifact": self.artifact_path,
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome of one campaign run."""
+
+    spec: CampaignSpec
+    outcomes: List[TaskOutcome]
+    failures: List[TaskFailure]
+    wall_seconds: float
+    workers: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def traces(self) -> int:
+        return sum(1 for o in self.outcomes if o.task.kind == DIFFERENTIAL)
+
+    @property
+    def protocol_runs(self) -> int:
+        return sum(o.protocol_runs for o in self.outcomes)
+
+    @property
+    def operations(self) -> int:
+        return sum(o.operations for o in self.outcomes)
+
+    def summary(self) -> str:
+        status = "PASS" if self.ok else f"FAIL ({len(self.failures)} task(s))"
+        return (
+            f"campaign {self.spec.name}: {status} — "
+            f"{len(self.outcomes)} tasks ({self.traces} differential traces), "
+            f"{self.protocol_runs} protocol runs, {self.operations} operations "
+            f"in {self.wall_seconds:.1f}s ({self.workers} worker(s))"
+        )
+
+    def to_jsonable(self) -> Dict:
+        return {
+            "campaign": self.spec.name,
+            "ok": self.ok,
+            "tasks": len(self.outcomes),
+            "differential_traces": self.traces,
+            "protocol_runs": self.protocol_runs,
+            "operations": self.operations,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "workers": self.workers,
+            "failures": [failure.to_jsonable() for failure in self.failures],
+        }
+
+
+# ------------------------------------------------------------- pool execution
+
+#: Per-process batch runner: worker processes live for the whole pool, so one
+#: runner per process lets every task reuse (reset) previously built systems.
+_PROCESS_RUNNER: Optional[BatchRunner] = None
+
+
+def _process_runner() -> BatchRunner:
+    global _PROCESS_RUNNER
+    if _PROCESS_RUNNER is None:
+        _PROCESS_RUNNER = BatchRunner()
+    return _PROCESS_RUNNER
+
+
+def _run_task_chunk(tasks: List[VerificationTask]) -> List[TaskOutcome]:
+    """Module-level worker entry point (must be picklable itself)."""
+    runner = _process_runner()
+    return [run_task(task, runner) for task in tasks]
+
+
+def _chunk_tasks(
+    tasks: Sequence[VerificationTask], workers: int
+) -> List[List[int]]:
+    """Group task indices by system shape, then slice for load balance."""
+    by_key: Dict[Tuple, List[int]] = {}
+    for index, task in enumerate(tasks):
+        by_key.setdefault((task.num_processors,), []).append(index)
+    chunk_size = max(1, -(-len(tasks) // max(1, workers)))
+    chunks: List[List[int]] = []
+    for group in by_key.values():
+        for start in range(0, len(group), chunk_size):
+            chunks.append(group[start : start + chunk_size])
+    return chunks
+
+
+def _run_campaign_tasks(
+    tasks: Sequence[VerificationTask], workers: Optional[int] = None
+) -> Tuple[List[TaskOutcome], int]:
+    """Run every task; returns (outcomes in order, workers actually used).
+
+    ``workers=0`` means "auto" ($REPRO_SWEEP_WORKERS or the CPU count), like
+    the sweep executor.  Restricted sandboxes fall back to a serial loop on a
+    single reset-reusing runner; results are identical either way.
+    """
+    if workers == 0:
+        workers = available_workers()
+    workers = 1 if workers is None else max(1, workers)
+    results: List[Optional[TaskOutcome]] = [None] * len(tasks)
+    used_workers = 1
+
+    if workers > 1 and len(tasks) > 1:
+        try:
+            from concurrent.futures import ProcessPoolExecutor, as_completed
+
+            max_workers = min(workers, len(tasks))
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                chunks = _chunk_tasks(tasks, max_workers)
+                futures = {
+                    pool.submit(_run_task_chunk, [tasks[i] for i in chunk]): chunk
+                    for chunk in chunks
+                }
+                for future in as_completed(futures):
+                    for index, outcome in zip(futures[future], future.result()):
+                        results[index] = outcome
+            used_workers = max_workers
+        except POOL_FALLBACK_ERRORS:
+            # Restricted environments and unpicklable payloads fall back to
+            # the serial loop below; outcomes the pool did complete are kept
+            # (mirroring run_sweep's fallback).
+            pass
+
+    if any(result is None for result in results):
+        runner = BatchRunner()
+        for index, task in enumerate(tasks):
+            if results[index] is None:
+                results[index] = run_task(task, runner)
+    return results, used_workers  # type: ignore[return-value]
+
+
+def run_campaign_tasks(
+    tasks: Sequence[VerificationTask], workers: Optional[int] = None
+) -> List[TaskOutcome]:
+    """Run every task — across a process pool when ``workers`` > 1 — in order."""
+    return _run_campaign_tasks(tasks, workers)[0]
+
+
+class VerificationCampaign:
+    """Runs a :class:`CampaignSpec` end to end, shrinking any failures."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        artifact_dir=None,
+        shrink: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.artifact_dir = artifact_dir
+        self.shrink = shrink
+
+    def run(self, workers: Optional[int] = None) -> CampaignResult:
+        started = time.perf_counter()
+        tasks = self.spec.tasks()
+        outcomes, resolved_workers = _run_campaign_tasks(tasks, workers)
+        failures: List[TaskFailure] = []
+        runner = BatchRunner()
+        for outcome in outcomes:
+            if outcome.ok:
+                continue
+            failure = TaskFailure(task=outcome.task, failures=outcome.failures)
+            if self.shrink and outcome.task.kind == DIFFERENTIAL:
+                predicate = differential_failure_predicate(outcome.task, runner)
+                trace = outcome.task.trace()
+                try:
+                    failure.shrunk_trace = shrink_trace(trace, predicate)
+                except VerificationError:
+                    # Not reproducible in the parent process (e.g. the pool
+                    # worker hit an environment-dependent failure): keep the
+                    # original failure report without a reproducer.
+                    failure.shrunk_trace = None
+            if self.artifact_dir is not None:
+                failure.artifact_path = str(
+                    write_artifact(
+                        Path(self.artifact_dir),
+                        outcome.task,
+                        outcome.failures,
+                        failure.shrunk_trace,
+                    )
+                )
+            failures.append(failure)
+        return CampaignResult(
+            spec=self.spec,
+            outcomes=outcomes,
+            failures=failures,
+            wall_seconds=time.perf_counter() - started,
+            workers=resolved_workers,
+        )
+
+
+def run_campaign(
+    campaign="quick",
+    workers: Optional[int] = None,
+    protocols: Optional[Sequence[str]] = None,
+    seeds: Optional[Sequence[int]] = None,
+    artifact_dir=None,
+    shrink: bool = True,
+) -> CampaignResult:
+    """Run a named (or explicit) campaign spec and return its result."""
+    if isinstance(campaign, CampaignSpec):
+        spec = campaign
+    else:
+        try:
+            spec = CAMPAIGNS[str(campaign)]
+        except KeyError:
+            raise VerificationError(
+                f"unknown campaign {campaign!r}; available: {sorted(CAMPAIGNS)}"
+            ) from None
+    if protocols is not None or seeds is not None:
+        spec = spec.with_overrides(protocols=protocols, seeds=seeds)
+    return VerificationCampaign(
+        spec, artifact_dir=artifact_dir, shrink=shrink
+    ).run(workers=workers)

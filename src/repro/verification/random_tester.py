@@ -9,19 +9,27 @@ reproduction: it drives the cache controllers of a small system directly
 of hot blocks so that racing GETS/GETM/PUTM transactions collide constantly,
 and then checks
 
-* the coherence invariants of :mod:`repro.verification.invariants`, and
+* the coherence invariants of :mod:`repro.verification.invariants` — both
+  mid-run (an :class:`~repro.verification.invariants.InvariantMonitor` fires
+  at every transaction completion) and over the quiescent final state, and
 * per-block value consistency (every load returns the token written by the
   most recent store ordered before it).
 
 Low link bandwidth plus randomised issue times provide the widely variable
-message latencies.
+message latencies; ``max_outstanding_per_node`` > 1 adds the multi-miss
+concurrency the protocol races need (the high-water mark actually reached is
+reported so tests can assert the concurrency really happened).
+
+The tester participates in the campaign engine's reset-reuse: pass
+``acquire`` (e.g. :meth:`repro.experiments.batch.BatchRunner.acquire`) and
+the underlying system is reset instead of rebuilt between runs.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
 
 from ..common.config import ProtocolName, SystemConfig
 from ..coherence.state import MOSIState
@@ -31,7 +39,7 @@ from ..interconnect.message import MessageType
 from ..system.multiprocessor import MultiprocessorSystem
 from ..workloads.trace import TraceWorkload
 from .consistency import ConsistencyChecker
-from .invariants import InvariantReport, check_invariants
+from .invariants import InvariantMonitor, InvariantReport, check_invariants
 
 
 @dataclass
@@ -48,15 +56,39 @@ class RandomTestResult:
     nacks: int
     invariant_report: InvariantReport
     consistency_violations: List[str] = field(default_factory=list)
+    max_outstanding_observed: int = 0
+    midrun_report: Optional[InvariantReport] = None
 
     @property
     def ok(self) -> bool:
         """True when every check passed and all operations completed."""
         return (
             self.invariant_report.ok
+            and (self.midrun_report is None or self.midrun_report.ok)
             and not self.consistency_violations
             and self.operations_completed == self.operations_issued
         )
+
+    def describe_failures(self) -> List[str]:
+        """Every failed check as a human-readable string."""
+        problems: List[str] = []
+        prefix = str(self.protocol)
+        if self.operations_completed != self.operations_issued:
+            problems.append(
+                f"{prefix}: {self.operations_issued - self.operations_completed} "
+                f"of {self.operations_issued} random operations never completed"
+            )
+        if self.midrun_report is not None:
+            problems.extend(
+                f"{prefix} [mid-run] {v}" for v in self.midrun_report.violations
+            )
+        problems.extend(
+            f"{prefix} [final] {v}" for v in self.invariant_report.violations
+        )
+        problems.extend(
+            f"{prefix} [consistency] {v}" for v in self.consistency_violations
+        )
+        return problems
 
     def raise_on_failure(self) -> None:
         """Raise :class:`VerificationError` describing the first failures."""
@@ -66,6 +98,8 @@ class RandomTestResult:
                 f"{self.operations_issued} random operations never completed "
                 f"(protocol {self.protocol})"
             )
+        if self.midrun_report is not None:
+            self.midrun_report.raise_on_violation()
         self.invariant_report.raise_on_violation()
         if self.consistency_violations:
             summary = "; ".join(self.consistency_violations[:10])
@@ -86,6 +120,10 @@ class RandomProtocolTester:
         seed: int = 1,
         bandwidth_mb_per_second: float = 400.0,
         max_outstanding_per_node: int = 1,
+        midrun_invariants: bool = True,
+        acquire: Optional[
+            Callable[[SystemConfig, TraceWorkload], MultiprocessorSystem]
+        ] = None,
     ) -> None:
         self.protocol = ProtocolName(protocol)
         self.num_processors = num_processors
@@ -99,9 +137,16 @@ class RandomProtocolTester:
             random_seed=seed,
         )
         empty_traces = {node: [] for node in range(num_processors)}
-        self.system = MultiprocessorSystem(self.config, TraceWorkload(empty_traces))
+        if acquire is not None:
+            self.system = acquire(self.config, TraceWorkload(empty_traces))
+        else:
+            self.system = MultiprocessorSystem(self.config, TraceWorkload(empty_traces))
         self.checker = ConsistencyChecker()
+        self.monitor = (
+            InvariantMonitor(self.system) if midrun_invariants else None
+        )
         self.max_outstanding_per_node = max_outstanding_per_node
+        self.max_outstanding_observed = 0
         self._outstanding: Dict[int, int] = {n: 0 for n in range(num_processors)}
         self._issued = 0
         self._completed = 0
@@ -122,6 +167,13 @@ class RandomProtocolTester:
         self.system.simulator.scheduler.schedule_after(
             delay, lambda: self._issue_random(node_id), f"tester-issue-n{node_id}"
         )
+
+    def _note_issue(self, node_id: int) -> None:
+        self._issued += 1
+        outstanding = self._outstanding[node_id] + 1
+        self._outstanding[node_id] = outstanding
+        if outstanding > self.max_outstanding_observed:
+            self.max_outstanding_observed = outstanding
 
     def _issue_random(self, node_id: int) -> None:
         if self._issued >= self.operations:
@@ -157,8 +209,7 @@ class RandomProtocolTester:
         self._schedule_next_issue(node_id)
 
     def _issue_read(self, node_id: int, cache, address: int) -> None:
-        self._issued += 1
-        self._outstanding[node_id] += 1
+        self._note_issue(node_id)
         cache.issue_request(
             address,
             MessageType.GETS,
@@ -166,8 +217,7 @@ class RandomProtocolTester:
         )
 
     def _issue_write(self, node_id: int, cache, address: int) -> None:
-        self._issued += 1
-        self._outstanding[node_id] += 1
+        self._note_issue(node_id)
         token = self._next_token()
         cache.issue_request(
             address,
@@ -177,8 +227,7 @@ class RandomProtocolTester:
         )
 
     def _issue_writeback(self, node_id: int, cache, address: int) -> None:
-        self._issued += 1
-        self._outstanding[node_id] += 1
+        self._note_issue(node_id)
         self._writebacks += 1
         cache.issue_writeback(
             address,
@@ -187,9 +236,13 @@ class RandomProtocolTester:
 
     # -------------------------------------------------------------- completion
 
-    def _on_read_complete(self, node_id: int, transaction: Transaction) -> None:
+    def _note_completion(self, node_id: int, transaction: Transaction) -> None:
         self._completed += 1
         self._outstanding[node_id] -= 1
+        if self.monitor is not None:
+            self.monitor.on_complete(transaction)
+
+    def _on_read_complete(self, node_id: int, transaction: Transaction) -> None:
         self.checker.record_read(
             node_id,
             transaction.address,
@@ -197,10 +250,9 @@ class RandomProtocolTester:
             transaction.effective_order_seq,
             self.system.simulator.now,
         )
+        self._note_completion(node_id, transaction)
 
     def _on_write_complete(self, node_id: int, transaction: Transaction) -> None:
-        self._completed += 1
-        self._outstanding[node_id] -= 1
         self.checker.record_write(
             node_id,
             transaction.address,
@@ -208,10 +260,10 @@ class RandomProtocolTester:
             transaction.effective_order_seq,
             self.system.simulator.now,
         )
+        self._note_completion(node_id, transaction)
 
     def _on_writeback_complete(self, node_id: int, transaction: Transaction) -> None:
-        self._completed += 1
-        self._outstanding[node_id] -= 1
+        self._note_completion(node_id, transaction)
 
     # -------------------------------------------------------------------- run
 
@@ -227,7 +279,8 @@ class RandomProtocolTester:
                 and self.system.simulator.scheduler.pending == 0
             ),
         )
-        # Let any in-flight transactions drain.
+        # Let any in-flight transactions (and the monitor's deferred settle /
+        # confirm probes) drain.
         self.system.simulator.run(until=self.system.simulator.now + 200_000)
         counters = self.system.stats.counters()
         invariant_report = check_invariants(self.system, expect_quiescent=True)
@@ -242,6 +295,8 @@ class RandomProtocolTester:
             nacks=int(counters.get("system.nacks", 0)),
             invariant_report=invariant_report,
             consistency_violations=self.checker.check(),
+            max_outstanding_observed=self.max_outstanding_observed,
+            midrun_report=self.monitor.report() if self.monitor is not None else None,
         )
 
 
@@ -251,6 +306,11 @@ def run_random_campaign(
     operations: int = 300,
     num_processors: int = 4,
     num_blocks: int = 4,
+    bandwidth_mb_per_second: float = 400.0,
+    max_outstanding_per_node: int = 1,
+    acquire: Optional[
+        Callable[[SystemConfig, TraceWorkload], MultiprocessorSystem]
+    ] = None,
 ) -> List[RandomTestResult]:
     """Run several independent random-tester campaigns for one protocol."""
     results = []
@@ -261,6 +321,9 @@ def run_random_campaign(
             num_blocks=num_blocks,
             operations=operations,
             seed=seed + 1,
+            bandwidth_mb_per_second=bandwidth_mb_per_second,
+            max_outstanding_per_node=max_outstanding_per_node,
+            acquire=acquire,
         )
         results.append(tester.run())
     return results

@@ -4,14 +4,60 @@ Useful for regression tests (replay the exact same reference stream against
 all three protocols) and for users who want to drive the simulator from traces
 captured elsewhere.  A trace is a per-processor list of
 :class:`~repro.workloads.base.MemoryOperation`.
+
+Traces round-trip through JSON (:func:`operations_to_jsonable` /
+:func:`operations_from_jsonable`), which is how the verification campaign's
+shrunk failure artifacts stay replayable: a minimal reproducer written by the
+shrinker can be loaded back and driven through any protocol, either through
+this workload (the full sequencer stack) or through the differential
+replayer's direct drive.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..errors import WorkloadError
 from .base import MemoryOperation, Workload
+
+
+def operations_to_jsonable(
+    traces: Mapping[int, Sequence[MemoryOperation]],
+) -> Dict[str, List[List]]:
+    """Per-processor operation lists as a JSON-ready mapping.
+
+    Each operation serialises to the compact row
+    ``[address, is_write, think_cycles, instructions, label]``.
+    """
+    return {
+        str(node): [
+            [op.address, bool(op.is_write), op.think_cycles, op.instructions, op.label]
+            for op in operations
+        ]
+        for node, operations in traces.items()
+    }
+
+
+def operations_from_jsonable(
+    data: Mapping[str, Sequence[Sequence]],
+) -> Dict[int, List[MemoryOperation]]:
+    """Inverse of :func:`operations_to_jsonable`."""
+    traces: Dict[int, List[MemoryOperation]] = {}
+    for node, rows in data.items():
+        operations = []
+        for row in rows:
+            address, is_write, think_cycles, instructions, label = row
+            operations.append(
+                MemoryOperation(
+                    address=int(address),
+                    is_write=bool(is_write),
+                    think_cycles=int(think_cycles),
+                    instructions=int(instructions),
+                    label=str(label),
+                )
+            )
+        traces[int(node)] = operations
+    return traces
 
 
 class TraceWorkload(Workload):
@@ -55,3 +101,14 @@ class TraceWorkload(Workload):
     def describe(self) -> str:
         total = sum(len(trace) for trace in self._traces.values())
         return f"TraceWorkload({total} operations, {len(self._traces)} processors)"
+
+    # ------------------------------------------------------------------- JSON
+
+    def to_jsonable(self) -> Dict[str, List[List]]:
+        """This workload's reference streams, JSON-ready."""
+        return operations_to_jsonable(self._traces)
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Sequence[Sequence]]) -> "TraceWorkload":
+        """Rebuild a trace workload written by :meth:`to_jsonable`."""
+        return cls(operations_from_jsonable(data))

@@ -114,6 +114,76 @@ class TestRun:
             SCENARIOS.pop("figureX_custom", None)
 
 
+class TestVerify:
+    def test_quick_campaign_subset_passes(self, capsys):
+        assert main(
+            ["verify", "--campaign", "quick", "--seed-range", "0:1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "campaign quick: PASS" in out
+        assert "differential traces" in out
+
+    def test_json_export_to_stdout(self, capsys):
+        assert main(
+            ["verify", "--seed-range", "0:1", "--protocol", "directory",
+             "--json", "-"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["campaign"] == "quick"
+        assert payload["differential_traces"] >= 1
+        assert payload["failures"] == []
+
+    def test_json_export_to_file(self, capsys, tmp_path):
+        target = tmp_path / "verify.json"
+        assert main(
+            ["verify", "--seed-range", "0:1", "--protocol", "snooping",
+             "--json", str(target)]
+        ) == 0
+        payload = json.loads(target.read_text())
+        assert payload["ok"] is True
+        # The human summary still prints when exporting to a file.
+        assert "campaign quick" in capsys.readouterr().out
+
+    def test_malformed_seed_range_fails_cleanly(self, capsys):
+        assert main(["verify", "--seed-range", "a:b"]) == 2
+        assert "--seed-range expects" in capsys.readouterr().err
+
+    def test_failing_campaign_exits_nonzero_and_writes_artifacts(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.coherence.state import MOSIState
+        from repro.interconnect.message import MessageType
+        from repro.protocols.directory.cache_controller import (
+            DirectoryCacheController,
+        )
+
+        original = DirectoryCacheController._serve_forward
+
+        def corrupt(self, block, message):
+            if message.msg_type is MessageType.FWD_GETS and block.is_owner:
+                self._send_data(
+                    block.address, message.requester, 31337,
+                    message.transaction_id,
+                )
+                block.state = MOSIState.OWNED
+                block.tracked_sharers.add(message.requester)
+                return
+            return original(self, block, message)
+
+        monkeypatch.setattr(DirectoryCacheController, "_serve_forward", corrupt)
+        assert main(
+            ["verify", "--seed-range", "0:3", "--artifact-dir", str(tmp_path)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "FAILED differential" in out
+        artifacts = list(tmp_path.glob("*.json"))
+        assert artifacts
+        from repro.verification.campaign import load_artifact
+
+        assert load_artifact(artifacts[0])["failures"]
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_repro(self):
         # The real subprocess path: `python -m repro list` must work from a

@@ -18,12 +18,40 @@ import pytest
 from repro.common.config import AdaptiveConfig, ProtocolName, SystemConfig
 from repro.system.multiprocessor import MultiprocessorSystem
 from repro.workloads.microbenchmark import LockingMicrobenchmark
+from repro.workloads.patterns import (
+    MigratoryWorkloadSpec,
+    MixedTraceWorkloadSpec,
+    ProducerConsumerWorkloadSpec,
+    ReadMostlyWorkloadSpec,
+)
 
 GOLDEN_PATH = Path(__file__).resolve().parent.parent / "data" / "golden_traces.json"
+
+#: Workload factories for the pattern-workload golden entries.  Each maps the
+#: entry's ``workload.kind`` to the frozen spec idiom the scenario engine
+#: uses, so the pinned schedules cover the exact code paths PR 4 ships.
+PATTERN_SPECS = {
+    "migratory": MigratoryWorkloadSpec,
+    "producer_consumer": ProducerConsumerWorkloadSpec,
+    "web_serving": ReadMostlyWorkloadSpec,
+    "mixed_trace": MixedTraceWorkloadSpec,
+}
 
 
 def _load_golden():
     return json.loads(GOLDEN_PATH.read_text())
+
+
+def _build_workload(cfg: dict):
+    spec = cfg.get("workload")
+    if spec is None:
+        return LockingMicrobenchmark(
+            num_locks=cfg["num_locks"],
+            acquires_per_processor=cfg["acquires_per_processor"],
+            think_cycles=0,
+        )
+    factory = PATTERN_SPECS[spec["kind"]](**spec.get("params", {}))
+    return factory(cfg["random_seed"])
 
 
 def _replay(name: str, cfg: dict):
@@ -41,12 +69,7 @@ def _replay(name: str, cfg: dict):
         random_seed=cfg["random_seed"],
         **extra,
     )
-    workload = LockingMicrobenchmark(
-        num_locks=cfg["num_locks"],
-        acquires_per_processor=cfg["acquires_per_processor"],
-        think_cycles=0,
-    )
-    system = MultiprocessorSystem(config, workload)
+    system = MultiprocessorSystem(config, _build_workload(cfg))
     trace = []
     system.simulator.scheduler.on_fire = lambda time, label: trace.append(
         [time, label]
@@ -57,9 +80,21 @@ def _replay(name: str, cfg: dict):
 
 #: "directory_fastpath" squeezes the cache (2 blocks) so evictions force the
 #: full home-unicast -> marker -> forward pipeline *including* writebacks and
-#: PUT_ACK/PUT_NACK responses through the compiled dispatch tables.
+#: PUT_ACK/PUT_NACK responses through the compiled dispatch tables.  The four
+#: pattern-workload entries pin the PR-4 scenario workloads' event schedules
+#: (one protocol each) exactly like the microbenchmark's.
 @pytest.mark.parametrize(
-    "name", ["snooping", "directory", "bash", "directory_fastpath"]
+    "name",
+    [
+        "snooping",
+        "directory",
+        "bash",
+        "directory_fastpath",
+        "migratory",
+        "producer_consumer",
+        "web_serving",
+        "mixed_trace",
+    ],
 )
 def test_fired_event_sequence_matches_golden_trace(name):
     golden = _load_golden()[name]

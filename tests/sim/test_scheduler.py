@@ -277,6 +277,98 @@ class TestScheduler:
         assert len(seen) == 4
 
 
+class TestFireHooks:
+    def test_multiple_hooks_each_see_every_event(self):
+        scheduler = Scheduler()
+        first, second = [], []
+        scheduler.add_fire_hook(lambda t, label: first.append((t, label)))
+        scheduler.add_fire_hook(lambda t, label: second.append((t, label)))
+        scheduler.schedule_at_fast(5, lambda: None, "a")
+        scheduler.schedule_at_fast(9, lambda: None, "b")
+        scheduler.run()
+        assert first == [(5, "a"), (9, "b")]
+        assert second == first
+
+    def test_remove_fire_hook_stops_delivery(self):
+        scheduler = Scheduler()
+        seen = []
+        hook = lambda t, label: seen.append(label)
+        scheduler.add_fire_hook(hook)
+        scheduler.schedule_at_fast(1, lambda: None, "x")
+        scheduler.run()
+        scheduler.remove_fire_hook(hook)
+        assert scheduler.on_fire is None
+        scheduler.schedule_at_fast(2, lambda: None, "y")
+        scheduler.run()
+        assert seen == ["x"]
+
+    def test_remove_unknown_hook_is_idempotent(self):
+        scheduler = Scheduler()
+        scheduler.remove_fire_hook(lambda t, label: None)
+        assert scheduler.on_fire is None
+
+    def test_directly_assigned_on_fire_is_adopted_as_first_hook(self):
+        scheduler = Scheduler()
+        order = []
+        scheduler.on_fire = lambda t, label: order.append("legacy")
+        scheduler.add_fire_hook(lambda t, label: order.append("added"))
+        scheduler.schedule_at_fast(3, lambda: None, "e")
+        scheduler.run()
+        assert order == ["legacy", "added"]
+
+    def test_single_hook_binds_without_fan_out_wrapper(self):
+        scheduler = Scheduler()
+        hook = lambda t, label: None
+        scheduler.add_fire_hook(hook)
+        assert scheduler.on_fire is hook
+
+    def test_legacy_direct_assignment_can_be_removed(self):
+        scheduler = Scheduler()
+        hook = lambda t, label: None
+        scheduler.on_fire = hook
+        scheduler.remove_fire_hook(hook)
+        assert scheduler.on_fire is None
+
+    def test_direct_clear_after_adoption_is_not_resurrected(self):
+        # A tracer assigned directly, adopted by add_fire_hook, then cleared
+        # directly must stay gone when the added hook is removed — the legacy
+        # surface is authoritative.
+        scheduler = Scheduler()
+        seen = []
+        scheduler.on_fire = lambda t, label: seen.append(label)
+        added = lambda t, label: None
+        scheduler.add_fire_hook(added)
+        scheduler.on_fire = None
+        scheduler.remove_fire_hook(added)
+        assert scheduler.on_fire is None
+        scheduler.schedule_at_fast(1, lambda: None, "late")
+        scheduler.run()
+        assert seen == []
+
+    def test_direct_reassignment_after_adoption_wins(self):
+        scheduler = Scheduler()
+        order = []
+        scheduler.on_fire = lambda t, label: order.append("old")
+        hook = lambda t, label: order.append("hook")
+        scheduler.add_fire_hook(hook)
+        scheduler.on_fire = lambda t, label: order.append("new")
+        scheduler.add_fire_hook(hook)
+        scheduler.schedule_at_fast(1, lambda: None, "e")
+        scheduler.run()
+        assert order == ["new", "hook"]
+
+    def test_hooks_survive_reset(self):
+        scheduler = Scheduler()
+        seen = []
+        scheduler.add_fire_hook(lambda t, label: seen.append(label))
+        scheduler.schedule_at_fast(1, lambda: None, "before")
+        scheduler.run()
+        scheduler.reset()
+        scheduler.schedule_at_fast(1, lambda: None, "after")
+        scheduler.run()
+        assert seen == ["before", "after"]
+
+
 class TestSimulator:
     def test_run_until_quiescent(self):
         simulator = Simulator()

@@ -5,9 +5,13 @@ import pytest
 from repro.coherence.state import MOSIState
 from repro.common.config import ProtocolName
 from repro.errors import VerificationError
+from repro.experiments.batch import BatchRunner
 from repro.verification.consistency import ConsistencyChecker
 from repro.verification.invariants import check_invariants
-from repro.verification.random_tester import RandomProtocolTester
+from repro.verification.random_tester import (
+    RandomProtocolTester,
+    run_random_campaign,
+)
 from repro.workloads.base import MemoryOperation
 from repro.workloads.trace import TraceWorkload
 
@@ -133,3 +137,81 @@ class TestRandomTester:
         )
         result = tester.run()
         result.raise_on_failure()
+
+    def test_midrun_monitor_runs_by_default(self, protocol):
+        tester = RandomProtocolTester(
+            protocol, num_processors=4, num_blocks=3, operations=120, seed=3
+        )
+        result = tester.run()
+        result.raise_on_failure()
+        assert result.midrun_report is not None
+        assert result.midrun_report.blocks_checked >= result.operations_completed
+
+
+class TestOutstandingConcurrency:
+    """The paper's races need multiple outstanding misses per node."""
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_two_outstanding_ops_pass_every_check(self, protocol, seed):
+        tester = RandomProtocolTester(
+            protocol,
+            num_processors=4,
+            num_blocks=4,
+            operations=250,
+            seed=seed,
+            max_outstanding_per_node=2,
+        )
+        result = tester.run()
+        result.raise_on_failure()
+        assert result.ok
+        # The concurrency must actually have happened, not just been allowed.
+        assert result.max_outstanding_observed >= 2
+
+    def test_four_outstanding_with_low_bandwidth(self, protocol):
+        tester = RandomProtocolTester(
+            protocol,
+            num_processors=4,
+            num_blocks=6,
+            operations=200,
+            seed=7,
+            bandwidth_mb_per_second=200.0,
+            max_outstanding_per_node=4,
+        )
+        result = tester.run()
+        result.raise_on_failure()
+        assert result.max_outstanding_observed >= 3
+
+    def test_blocking_default_never_exceeds_one(self, protocol):
+        tester = RandomProtocolTester(
+            protocol, num_processors=4, num_blocks=3, operations=100, seed=5
+        )
+        result = tester.run()
+        result.raise_on_failure()
+        assert result.max_outstanding_observed == 1
+
+    def test_campaign_helper_threads_the_new_parameters(self):
+        results = run_random_campaign(
+            ProtocolName.DIRECTORY,
+            seeds=range(2),
+            operations=120,
+            bandwidth_mb_per_second=800.0,
+            max_outstanding_per_node=2,
+        )
+        assert len(results) == 2
+        for result in results:
+            result.raise_on_failure()
+            assert result.max_outstanding_observed >= 2
+
+    def test_reset_reuse_through_acquire(self):
+        runner = BatchRunner()
+        first = RandomProtocolTester(
+            ProtocolName.SNOOPING, operations=100, seed=2, acquire=runner.acquire
+        ).run()
+        second = RandomProtocolTester(
+            ProtocolName.SNOOPING, operations=100, seed=2, acquire=runner.acquire
+        ).run()
+        first.raise_on_failure()
+        second.raise_on_failure()
+        assert runner.systems_built == 1
+        assert first.operations_issued == second.operations_issued
+        assert first.reads == second.reads and first.writes == second.writes

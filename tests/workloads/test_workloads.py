@@ -161,3 +161,29 @@ class TestTraceWorkload:
     def test_requires_nonempty_traces(self):
         with pytest.raises(WorkloadError):
             TraceWorkload({})
+
+    def test_json_round_trip(self):
+        ops = {
+            0: [
+                MemoryOperation(address=0, is_write=True, think_cycles=3,
+                                instructions=4, label="store"),
+                MemoryOperation(address=64, is_write=False),
+            ],
+            1: [],
+        }
+        workload = TraceWorkload(ops)
+        clone = TraceWorkload.from_jsonable(workload.to_jsonable())
+        assert clone.to_jsonable() == workload.to_jsonable()
+        first = clone.next_operation(0, 0)
+        assert first.address == 0 and first.is_write
+        assert first.think_cycles == 3 and first.instructions == 4
+        assert first.label == "store"
+
+    def test_jsonable_payload_is_json_serialisable(self):
+        import json
+
+        workload = TraceWorkload({0: [MemoryOperation(address=128, is_write=False)]})
+        payload = json.dumps(workload.to_jsonable())
+        assert TraceWorkload.from_jsonable(json.loads(payload)).to_jsonable() == (
+            workload.to_jsonable()
+        )

@@ -26,6 +26,13 @@ invariant monitoring and failure-trace shrinking::
 
 A failing campaign exits nonzero and (with ``--artifact-dir``) writes each
 shrunk failing trace as a replayable JSON artifact.
+
+``backend`` reports which event-core backend (pure Python or the compiled
+``repro._core`` extension) this process would simulate with and why —
+``$REPRO_BACKEND``, automatic detection, or fallback::
+
+    python -m repro backend
+    REPRO_BACKEND=pure python -m repro backend --format json
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ import json
 import sys
 from typing import List, Optional
 
+from . import _core
 from .errors import ReproError
 from .experiments.scenario import (
     SCALES,
@@ -168,6 +176,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_path", default=None, metavar="FILE",
         help="write the campaign result as JSON to FILE ('-' for stdout)",
     )
+
+    backend_parser = commands.add_parser(
+        "backend",
+        help="show which event-core backend is active and how it was chosen",
+    )
+    backend_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
     return parser
 
 
@@ -196,12 +213,45 @@ def _command_list(args) -> int:
         print(json.dumps(payload, indent=2))
         return 0
     width = max(len(name) for name in names)
+    info = _core.backend_info()
     print(f"{len(names)} scenarios registered "
-          f"(run with: python -m repro run <name> [--scale quick|paper])\n")
+          f"(run with: python -m repro run <name> [--scale quick|paper])")
+    print(f"event-core backend: {info['name']} "
+          f"[{_describe_selection(info)}]\n")
     for name in names:
         scenario = SCENARIOS[name]
         kind = "sweep" if scenario.kind == "grid" else "static"
         print(f"  {name:<{width}}  [{kind}]  {scenario.title}")
+    return 0
+
+
+def _describe_selection(info: dict) -> str:
+    """One phrase explaining *why* this backend is active."""
+    selected_by = info["selected_by"]
+    if selected_by == "env":
+        return f"${info['env_var']}={info['requested']}"
+    if selected_by == "auto":
+        return "auto-detected"
+    if selected_by == "fallback":
+        return "compiled extension unavailable, fell back to pure"
+    return selected_by  # "forced": set_backend()/use_backend() in process
+
+
+def _command_backend(args) -> int:
+    info = _core.backend_info()
+    if args.format == "json":
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print(f"backend:  {info['name']}")
+    print(f"selected: {_describe_selection(info)} "
+          f"(${info['env_var']}: pure|compiled|auto, default auto)")
+    if info["compiled_loaded"]:
+        print(f"compiled: repro._core._cext {info['compiled_version']} loaded")
+    elif info["compiled_import_error"] is not None:
+        print(f"compiled: unavailable ({info['compiled_import_error']})")
+        print("          build it with: python -m repro._core.build")
+    else:
+        print("compiled: not imported (pure backend forced)")
     return 0
 
 
@@ -272,10 +322,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "list":
             return _command_list(args)
+        if args.command == "backend":
+            return _command_backend(args)
         if args.command == "verify":
             return _command_verify(args)
         return _command_run(args)
-    except ReproError as error:
+    except (ReproError, _core.BackendError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except argparse.ArgumentTypeError as error:

@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from .. import _core
 from ..common.config import ProtocolName
 from ..system.multiprocessor import RunResult
 from .batch import BatchRunner, spec_batch_key
@@ -138,6 +139,11 @@ class PointSpec:
         scale["seeds"] = list(self.scale.seeds)
         payload = {
             "version": CACHE_VERSION,
+            # The two backends are contractually bit-identical (golden-trace
+            # tests), but a cached point must still say which core computed
+            # it: a benchmark or bisection that pins $REPRO_BACKEND must
+            # never be served results the other backend produced.
+            "backend": _core.active_backend(),
             "scale": scale,
             "protocol": str(self.protocol),
             "bandwidth": self.bandwidth,
@@ -210,7 +216,12 @@ class SweepCache:
         concurrent) PAPER-scale run can never leave a torn or half-written
         cache entry — the entry either exists complete or not at all.
         """
-        payload = json.dumps(_point_to_json(point))
+        # "backend" is envelope metadata for humans inspecting a cache
+        # directory; _point_from_json reads explicit keys, so loads ignore it
+        # (the cache *key* already encodes the backend).
+        payload = json.dumps(
+            {"backend": _core.active_backend(), **_point_to_json(point)}
+        )
         fd, tmp_name = tempfile.mkstemp(
             dir=self.directory, prefix=f".{key[:16]}-", suffix=".tmp"
         )

@@ -32,6 +32,7 @@ from heapq import heappush as _heappush
 
 from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
+from .._core import accelerator_for
 from ..common.stats import StatsRegistry
 from ..errors import NetworkError
 from ..sim.scheduler import Scheduler
@@ -88,6 +89,11 @@ class TotallyOrderedNetwork:
         # avoids a per-recipient tuple-key probe into ``_arrive_entries``.
         self._sorted_recipients: Dict[FrozenSet[int], Tuple[int, ...]] = {}
         self._fanout_memo: Dict[object, Tuple[Tuple[Callable, str], ...]] = {}
+        # Compiled-backend accelerator (repro._core._cext) when the scheduler
+        # is a compiled instance, else None: C replacements for the inline
+        # injection push, the switch fan-out and the unit-cost arrival
+        # closures below — same entries, same ordering, no bytecode.
+        self._accel = accelerator_for(scheduler)
 
     @property
     def next_order_sequence(self) -> int:
@@ -168,6 +174,16 @@ class TotallyOrderedNetwork:
         if label is None:
             label = f"ordered-inject:{msg_type}"
             self._inject_labels[msg_type] = label
+        accel = self._accel
+        if accel is not None:
+            accel.sched_push(
+                scheduler,
+                injection_time,
+                self._enter_switch_callback,
+                label,
+                message,
+            )
+            return
         sequence = scheduler._sequence
         scheduler._sequence = sequence + 1
         entry = (injection_time, sequence, self._enter_switch_callback, label, message)
@@ -205,6 +221,10 @@ class TotallyOrderedNetwork:
         # All recipients arrive at the same cycle: resolve the bucket once and
         # append the whole fan-out to it — a broadcast costs one dict probe
         # plus N list appends instead of N heap pushes.
+        accel = self._accel
+        if accel is not None:
+            accel.fanout_push(scheduler, exit_time, fanout, message)
+            return
         buckets = scheduler._buckets
         bucket = buckets.get(exit_time)
         if bucket is None:
@@ -244,6 +264,13 @@ class TotallyOrderedNetwork:
                 raise NetworkError(
                     f"no ordered handler registered for node {node_id}"
                 )
+
+        elif self._accel is not None and broadcast_cost == 1.0:
+            # Compiled backend: the unit-cost arrival is a C closure object
+            # performing the same inlined transmit + bucket push (see
+            # LinkPush in repro/_core/_cext.c).  It captures the same
+            # reset-stable containers as the Python closure below.
+            arrive = self._accel.LinkPush(scheduler, in_link, deliver, deliver_label)
 
         elif broadcast_cost == 1.0:
             # Unit broadcast cost (the default): every message on this link

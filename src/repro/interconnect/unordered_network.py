@@ -21,6 +21,7 @@ from heapq import heappush as _heappush
 
 from typing import Callable, Dict, Optional, Tuple
 
+from .._core import accelerator_for
 from ..common.stats import StatsRegistry
 from ..errors import NetworkError
 from ..sim.scheduler import Scheduler
@@ -65,6 +66,9 @@ class UnorderedNetwork:
             Tuple[MessageType, int, DestinationUnit],
             Tuple[str, Callable[[Message], None], Callable],
         ] = {}
+        # Compiled-backend accelerator (repro._core._cext) when the scheduler
+        # is a compiled instance, else None; see the ordered network.
+        self._accel = accelerator_for(scheduler)
 
     def reset(self) -> None:
         """Re-arm the network for a fresh run.
@@ -121,6 +125,10 @@ class UnorderedNetwork:
         entry = self._inject_entries.get(message.msg_type)
         if entry is None:
             entry = self._compile_injection(message.msg_type)
+        accel = self._accel
+        if accel is not None:
+            accel.sched_push(scheduler, injection_time, entry[1], entry[0], message)
+            return
         sequence = scheduler._sequence
         scheduler._sequence = sequence + 1
         item = (injection_time, sequence, entry[1], entry[0], message)
@@ -144,6 +152,14 @@ class UnorderedNetwork:
         times = scheduler._times
         traversal = self.traversal_cycles
         arrive = self._arrive
+
+        if self._accel is not None:
+            entry = (
+                inject_label,
+                self._accel.Relay(scheduler, traversal, arrive, arrive_label),
+            )
+            self._inject_entries[msg_type] = entry
+            return entry
 
         def traverse(message: Message) -> None:
             """Cross the switch fabric and head for the destination's link."""
@@ -209,6 +225,11 @@ class UnorderedNetwork:
         label = f"unordered-deliver:{msg_type}:n{dest}"
         in_link = self.links[dest].incoming
         scheduler = self.scheduler
+        if self._accel is not None:
+            occupy = self._accel.LinkPush(scheduler, in_link, deliver, label)
+            entry = (label, deliver, occupy)
+            self._deliver_entries[(msg_type, dest, dest_unit)] = entry
+            return entry
         sched_buckets = scheduler._buckets
         sched_buckets_get = sched_buckets.get
         sched_times = scheduler._times

@@ -36,6 +36,7 @@ from __future__ import annotations
 from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Dict, List, Optional
 
+from .. import _core
 from ..errors import SimulationError
 from .event import Event
 
@@ -628,3 +629,60 @@ class Scheduler:
         self.now = 0
         self._sequence = 0
         self._fired = 0
+
+
+# --------------------------------------------------------- compiled backend
+#
+# The compiled backend (repro._core._cext) implements only the scheduler's
+# hot methods in C, against the *same* observable data layout (`_buckets`
+# dict of tuple-entry lists, `_times` heap, integer counters).  Everything
+# cold — drain/reset/step/compaction/fire hooks — is the pure implementation
+# above, reused verbatim as class attributes of a thin Python subclass.  The
+# pure class therefore stays the executable specification: any behavioural
+# divergence between backends is a bug in the extension.
+
+
+def _build_compiled_scheduler() -> type:
+    """Create the compiled Scheduler class (imports the extension).
+
+    Called lazily by :mod:`repro._core` so that ``REPRO_BACKEND=pure``
+    never imports the extension at all; raises ImportError when the
+    extension is not built.
+    """
+    _cext = _core.load_extension()
+    _cext._init_classes(Event, SimulationError)
+
+    class CompiledScheduler(_cext.SchedulerBase):
+        """Bucket-queue scheduler with the hot methods compiled to C.
+
+        Drop-in replacement for :class:`Scheduler`: identical event
+        ordering, identical error messages, identical container layout —
+        the network fast paths that push entries straight into
+        ``_buckets``/``_times`` work unchanged against it.
+        """
+
+        __slots__ = ()
+
+        # Cold paths shared with the pure implementation (plain functions
+        # and property descriptors work across classes via attribute access;
+        # every attribute they touch exists on the C base as a member).
+        pending = Scheduler.pending
+        fired = Scheduler.fired
+        add_fire_hook = Scheduler.add_fire_hook
+        remove_fire_hook = Scheduler.remove_fire_hook
+        _sync_external_assignment = Scheduler._sync_external_assignment
+        _rebind_fire_hooks = Scheduler._rebind_fire_hooks
+        _compact = Scheduler._compact
+        step = Scheduler.step
+        drain = Scheduler.drain
+        reset = Scheduler.reset
+
+    return CompiledScheduler
+
+
+_core.provide(pure=Scheduler, compiled_factory=_build_compiled_scheduler)
+
+
+def active_scheduler_class() -> type:
+    """The Scheduler class of the active backend (see :mod:`repro._core`)."""
+    return _core.scheduler_class()

@@ -6,14 +6,17 @@ from typing import Callable, Optional
 
 from ..common.stats import StatsRegistry
 from ..errors import SimulationError
-from .scheduler import Scheduler
+from .scheduler import Scheduler, active_scheduler_class
 
 
 class Simulator:
     """Owns the scheduler and statistics registry for one simulation run."""
 
     def __init__(self) -> None:
-        self.scheduler = Scheduler()
+        # Backend resolved at construction time (not import time) so an
+        # in-process backend switch — the parametrized test fixture, the
+        # interleaved benchmark A/B — affects the next system built.
+        self.scheduler: Scheduler = active_scheduler_class()()
         self.stats = StatsRegistry()
         self._finished = False
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import _core
 from repro.common.config import AdaptiveConfig, ProtocolName, SystemConfig
 from repro.system.multiprocessor import MultiprocessorSystem, simulate
 from repro.workloads.microbenchmark import LockingMicrobenchmark
@@ -69,6 +70,26 @@ def build_trace_system(
 def protocol(request) -> ProtocolName:
     """Parametrised fixture running a test once per protocol."""
     return request.param
+
+
+@pytest.fixture(params=[_core.PURE, _core.COMPILED])
+def backend(request) -> str:
+    """Parametrised fixture running a test under each event-core backend.
+
+    The ``compiled`` leg is skipped (with a reason) when the extension has
+    not been built; the ``pure`` leg always runs, so the suite never goes
+    green by silently testing one backend twice.  Systems built inside the
+    test pick up the backend because :class:`repro.sim.Simulator` resolves
+    it at construction time.
+    """
+    name = request.param
+    if name == _core.COMPILED and not _core.compiled_available():
+        pytest.skip(
+            "compiled extension not built "
+            "(build it with: python -m repro._core.build)"
+        )
+    with _core.use_backend(name):
+        yield name
 
 
 @pytest.fixture(name="build_trace_system")

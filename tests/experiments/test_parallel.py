@@ -112,6 +112,21 @@ class TestCache:
             != dataclasses.replace(base, workload=other_workload).cache_key()
         )
 
+    def test_cache_key_distinguishes_backends(self):
+        from repro import _core
+
+        workload = microbenchmark_factory(TINY)
+        spec = PointSpec(
+            scale=TINY, protocol=ProtocolName.BASH, bandwidth=800.0, workload=workload
+        )
+        with _core.use_backend("pure"):
+            pure_key = spec.cache_key()
+            assert spec.cache_key() == pure_key  # stable within a backend
+        if not _core.compiled_available():
+            pytest.skip("compiled extension not built")
+        with _core.use_backend("compiled"):
+            assert spec.cache_key() != pure_key
+
     def test_corrupt_cache_entry_is_recomputed(self, tmp_path):
         specs = _specs(protocols=(ProtocolName.SNOOPING,))[:1]
         run_sweep(specs, cache_dir=tmp_path)

@@ -1,0 +1,162 @@
+"""Backend-selection contract of the compiled event core.
+
+These tests pin the :mod:`repro._core` selection rules that everything else
+(the ``backend`` test fixture, the interleaved benchmark A/B, the cache
+key of sweep points) relies on:
+
+* ``REPRO_BACKEND=pure`` must *bypass* the extension entirely — not just
+  prefer the pure scheduler, but never import ``repro._core._cext`` — which
+  only a subprocess can observe honestly;
+* forcing ``compiled`` when the extension is missing fails loudly instead of
+  silently falling back (a forced-compiled benchmark run that quietly ran
+  pure would record nonsense);
+* both backends produce bit-identical fired-event sequences.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import _core
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SRC = REPO_ROOT / "src"
+
+needs_compiled = pytest.mark.skipif(
+    not _core.compiled_available(),
+    reason="compiled extension not built (python -m repro._core.build)",
+)
+
+
+def _run_python(code: str, env_overrides: dict) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    env.pop(_core.ENV_VAR, None)
+    env.update(env_overrides)
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestPureBypass:
+    def test_pure_env_keeps_extension_out_of_sys_modules(self):
+        """REPRO_BACKEND=pure must never import repro._core._cext.
+
+        This is the regression test for the lazy factory design: the pure
+        selection path must not even *attempt* the extension import, so a
+        broken or ABI-mismatched build can never take down a pure run.
+        """
+        code = (
+            "import sys, json\n"
+            "from repro.sim import Simulator, Scheduler, backend_info\n"
+            "sim = Simulator()\n"
+            "sim.scheduler.schedule_after(1, lambda: None, label='t')\n"
+            "fired = sim.run()\n"
+            "print(json.dumps({\n"
+            "    'info': backend_info(),\n"
+            "    'fired': fired,\n"
+            "    'is_pure_class': type(sim.scheduler) is Scheduler,\n"
+            "    'cext_imported': 'repro._core._cext' in sys.modules,\n"
+            "}))\n"
+        )
+        proc = _run_python(code, {_core.ENV_VAR: "pure"})
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["cext_imported"] is False
+        assert payload["is_pure_class"] is True
+        assert payload["fired"] == 1
+        assert payload["info"]["name"] == "pure"
+        assert payload["info"]["selected_by"] == "env"
+        assert payload["info"]["compiled_loaded"] is False
+
+    def test_invalid_backend_name_fails_loudly(self):
+        code = "from repro.sim import Simulator; Simulator()"
+        proc = _run_python(code, {_core.ENV_VAR: "turbo"})
+        assert proc.returncode != 0
+        assert "BackendError" in proc.stderr
+        assert "turbo" in proc.stderr
+
+    def test_forced_compiled_without_extension_raises(self, monkeypatch):
+        """REPRO_BACKEND=compiled with no extension is an error, not a fallback."""
+
+        def unavailable():
+            raise ImportError("extension hidden for test")
+
+        monkeypatch.setattr(_core, "_compiled_class", None)
+        monkeypatch.setattr(_core, "_compiled_factory", unavailable)
+        with pytest.raises(_core.BackendError, match="python -m repro._core.build"):
+            _core.set_backend("compiled")
+
+    def test_set_backend_rejects_unknown_names(self):
+        with pytest.raises(_core.BackendError, match="turbo"):
+            _core.set_backend("turbo")
+
+
+class TestBackendInfo:
+    def test_info_shape(self):
+        info = _core.backend_info()
+        assert set(info) == {
+            "name",
+            "requested",
+            "selected_by",
+            "env_var",
+            "compiled_loaded",
+            "compiled_version",
+            "compiled_import_error",
+        }
+        assert info["name"] in ("pure", "compiled")
+        assert info["env_var"] == "REPRO_BACKEND"
+
+    def test_use_backend_restores_previous_selection(self):
+        before = _core.backend_info()
+        with _core.use_backend("pure") as active:
+            assert active == "pure"
+            assert _core.backend_info()["name"] == "pure"
+        after = _core.backend_info()
+        assert after["name"] == before["name"]
+        assert after["selected_by"] == before["selected_by"]
+
+
+@needs_compiled
+class TestCompiledBackend:
+    def test_compiled_scheduler_is_extension_subclass(self):
+        ext = _core.load_extension()
+        with _core.use_backend("compiled"):
+            from repro.sim import Simulator
+
+            sim = Simulator()
+            assert isinstance(sim.scheduler, ext.SchedulerBase)
+            assert _core.accelerator_for(sim.scheduler) is ext
+
+    def test_accelerator_not_offered_to_pure_scheduler(self):
+        from repro.sim.scheduler import Scheduler
+
+        assert _core.accelerator_for(Scheduler()) is None
+
+    def test_backends_produce_identical_traces(self):
+        """Direct pure-vs-compiled A/B on one golden scenario, in process."""
+        from .test_golden_trace import _load_golden, _replay
+
+        golden = _load_golden()["snooping"]
+        traces = {}
+        for name in ("pure", "compiled"):
+            with _core.use_backend(name):
+                system, trace = _replay("snooping", golden["config"])
+                traces[name] = (trace, system.simulator.now)
+        assert traces["pure"] == traces["compiled"]
+
+    def test_compiled_info_reports_version(self):
+        with _core.use_backend("compiled"):
+            info = _core.backend_info()
+        assert info["compiled_loaded"] is True
+        assert info["compiled_version"] == _core.load_extension().CORE_VERSION

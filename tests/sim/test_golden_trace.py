@@ -96,7 +96,7 @@ def _replay(name: str, cfg: dict):
         "mixed_trace",
     ],
 )
-def test_fired_event_sequence_matches_golden_trace(name):
+def test_fired_event_sequence_matches_golden_trace(name, backend):
     golden = _load_golden()[name]
     system, trace = _replay(name, golden["config"])
     assert len(trace) == golden["fired"], (

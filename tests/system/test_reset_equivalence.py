@@ -53,7 +53,7 @@ def _workload():
 
 class TestResetEquivalence:
     def test_reset_reused_system_matches_fresh_for_every_protocol_and_seed(
-        self, protocol
+        self, protocol, backend
     ):
         """The headline contract: reset + run == build + run, field for field."""
         fresh = {

@@ -99,7 +99,7 @@ class TestTraceGeneration:
 class TestDifferentialRuns:
     @pytest.mark.parametrize("mode", [STRICT, RACY])
     @pytest.mark.parametrize("seed", [0, 1, 2])
-    def test_correct_protocols_agree(self, mode, seed):
+    def test_correct_protocols_agree(self, mode, seed, backend):
         trace = generate_trace(seed, operations=40, mode=mode)
         result = run_differential(trace)
         assert result.ok, result.failures

@@ -53,7 +53,11 @@ if not os.environ.get("REPRO_SKIP_CEXT"):
     ext_modules = [
         Extension(
             "repro._core._cext",
-            sources=["src/repro/_core/_cext.c"],
+            sources=[
+                "src/repro/_core/_cext.c",
+                "src/repro/_core/_chandlers.c",
+            ],
+            depends=["src/repro/_core/_core.h"],
             optional=not os.environ.get("REPRO_REQUIRE_CEXT"),
         )
     ]

@@ -230,6 +230,34 @@ def use_backend(name: str) -> Iterator[str]:
         set_backend(previous, selected_by=previous_by or "forced")
 
 
+#: Per-handler compile/decline decisions recorded by the protocol dispatch
+#: layer (``repro.protocols.dispatch``): ``"<Controller>.<MSG_TYPE>"`` ->
+#: ``"compiled"`` | ``"declined"``.  A plain observational registry — the
+#: newest decision for a key wins (a dispatch-cache invalidation recompiles
+#: and re-records), and it is never consulted for behaviour.
+_handler_selections: Dict[str, str] = {}
+
+
+def note_handler_selection(name: str, status: str) -> None:
+    """Record one per-handler compile/decline decision (dispatch layer)."""
+    _handler_selections[name] = status
+
+
+def handler_selections() -> Dict[str, str]:
+    """A snapshot of the per-handler compile/decline decisions so far."""
+    return dict(_handler_selections)
+
+
+def handlers_available() -> bool:
+    """True when the loaded extension carries the compiled handler layer.
+
+    Distinct from :func:`compiled_available`: an older ``.so`` built before
+    the handler fast paths existed still provides the event core but not
+    the delivery objects.  Does not attempt the import itself.
+    """
+    return _ext is not None and hasattr(_ext, "SnoopDeliver")
+
+
 def accelerator_for(scheduler):
     """The extension module when ``scheduler`` is a compiled instance.
 
@@ -250,6 +278,12 @@ def backend_info() -> Dict[str, object]:
     _resolve()
     ext = _ext
     version = getattr(ext, "CORE_VERSION", None) if ext is not None else None
+    if _active == COMPILED:
+        event_core = COMPILED
+        handlers = COMPILED if handlers_available() else "unavailable"
+    else:
+        event_core = PURE
+        handlers = PURE
     return {
         "name": _active,
         "requested": _requested,
@@ -258,4 +292,6 @@ def backend_info() -> Dict[str, object]:
         "compiled_loaded": ext is not None,
         "compiled_version": version,
         "compiled_import_error": _import_error,
+        "components": {"event_core": event_core, "handlers": handlers},
+        "handler_selections": handler_selections(),
     }

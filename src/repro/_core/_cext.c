@@ -22,7 +22,9 @@
 #include <Python.h>
 #include <structmember.h>
 
-#define CORE_VERSION "1.0.0"
+#include "_core.h"
+
+#define CORE_VERSION "1.1.0"
 
 /* Compaction threshold; mirrors _COMPACT_MIN_CANCELLED in scheduler.py. */
 #define COMPACT_MIN_CANCELLED 64
@@ -1657,7 +1659,8 @@ PyInit__cext(void)
                               (PyObject *)&Scheduler_Type) < 0 ||
         PyModule_AddObjectRef(module, "LinkPush",
                               (PyObject *)&LinkPush_Type) < 0 ||
-        PyModule_AddObjectRef(module, "Relay", (PyObject *)&Relay_Type) < 0) {
+        PyModule_AddObjectRef(module, "Relay", (PyObject *)&Relay_Type) < 0 ||
+        chandlers_add_types(module) < 0) {
         Py_DECREF(module);
         return NULL;
     }

@@ -1,0 +1,17 @@
+/* Shared declarations between the compiled event core (_cext.c) and the
+ * compiled coherence fast paths (_chandlers.c).  Both translation units are
+ * linked into the single repro._core._cext extension module; _cext.c owns
+ * module init and calls chandlers_add_types() to register the handler
+ * types and module functions. */
+
+#ifndef REPRO_CORE_H
+#define REPRO_CORE_H
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+/* Register SnoopDeliver/PutDeliver/DirDeliver and _init_protocol on the
+ * extension module.  Returns 0 on success, -1 with an exception set. */
+int chandlers_add_types(PyObject *module);
+
+#endif /* REPRO_CORE_H */

@@ -8,6 +8,12 @@ install anything.  Failure is not an error for the package — the pure
 backend remains fully supported — so the module distinguishes "no compiler"
 (exit 1 with a friendly message) from "compile error" (exit 1 with the
 compiler output).
+
+The build is incremental at file granularity: when the built ``.so`` is
+newer than every C source (and this script), the cc invocation is skipped
+entirely so repeated ``python -m repro._core.build`` calls (CI steps,
+editor hooks) cost a stat, not a compile.  ``--force`` rebuilds
+unconditionally.
 """
 
 from __future__ import annotations
@@ -20,13 +26,28 @@ import sysconfig
 from pathlib import Path
 
 HERE = Path(__file__).resolve().parent
-SOURCE = HERE / "_cext.c"
+# Both translation units link into the single _cext extension module;
+# _core.h is the shared header, included in the staleness inputs so editing
+# it triggers a rebuild too.
+SOURCES = (HERE / "_cext.c", HERE / "_chandlers.c")
+HEADERS = (HERE / "_core.h",)
 
 
 def extension_path() -> Path:
     """Where the built extension lands (ABI-tagged, next to the source)."""
     suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
     return HERE / f"_cext{suffix}"
+
+
+def is_stale(output: Path) -> bool:
+    """True when the built extension is missing or older than any input."""
+    if not output.exists():
+        return True
+    built = output.stat().st_mtime
+    inputs = [*SOURCES, *HEADERS, Path(__file__)]
+    return any(
+        source.exists() and source.stat().st_mtime >= built for source in inputs
+    )
 
 
 def find_compiler() -> str | None:
@@ -52,7 +73,7 @@ def build_command(cc: str, output: Path) -> list:
         "-fPIC",
         "-shared",
         f"-I{include}",
-        str(SOURCE),
+        *[str(source) for source in SOURCES],
         "-o",
         str(output),
     ]
@@ -63,19 +84,25 @@ def build_command(cc: str, output: Path) -> list:
     return command
 
 
-def build(verbose: bool = True) -> Path:
+def build(verbose: bool = True, force: bool = False) -> Path:
     """Compile the extension in place and return its path.
 
-    Raises ``RuntimeError`` when no compiler is available and
+    Skips the compiler entirely when the built ``.so`` is already newer
+    than every C source (pass ``force=True`` to override).  Raises
+    ``RuntimeError`` when no compiler is available and
     ``subprocess.CalledProcessError`` when compilation fails.
     """
+    output = extension_path()
+    if not force and not is_stale(output):
+        if verbose:
+            print(f"{output.name} is up to date (--force rebuilds)")
+        return output
     cc = find_compiler()
     if cc is None:
         raise RuntimeError(
             "no C compiler found (looked for $CC, cc, gcc, clang); "
             "the pure backend remains available"
         )
-    output = extension_path()
     command = build_command(cc, output)
     if verbose:
         print(" ".join(command))
@@ -90,9 +117,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "-q", "--quiet", action="store_true", help="suppress the compiler line"
     )
+    parser.add_argument(
+        "-f",
+        "--force",
+        action="store_true",
+        help="recompile even when the built extension is up to date",
+    )
     args = parser.parse_args(argv)
     try:
-        output = build(verbose=not args.quiet)
+        output = build(verbose=not args.quiet, force=args.force)
     except RuntimeError as error:
         print(f"repro._core.build: {error}", file=sys.stderr)
         return 1

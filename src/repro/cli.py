@@ -252,6 +252,16 @@ def _command_backend(args) -> int:
         print("          build it with: python -m repro._core.build")
     else:
         print("compiled: not imported (pure backend forced)")
+    for component, status in sorted(info["components"].items()):
+        print(f"  {component + ':':<12}{status}")
+    selections = info["handler_selections"]
+    if selections:
+        # Populated per handler as systems compile their dispatch tables in
+        # this process; "declined" means the pure Python handler stayed
+        # authoritative for that entry (customised table or patched hook).
+        print("handler selections:")
+        for handler, status in sorted(selections.items()):
+            print(f"  {handler + ':':<40}{status}")
     return 0
 
 

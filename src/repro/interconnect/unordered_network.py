@@ -212,7 +212,9 @@ class UnorderedNetwork:
         if deliver is None:
             raise NetworkError(f"no unordered handler registered for node {dest}")
         arena = getattr(self.scheduler, "arena", None)
-        if arena is not None:
+        if arena is not None and not getattr(deliver, "releases_message", False):
+            # A compiled entry that advertises releases_message has the
+            # release folded into its C call; wrapping would double-release.
             release = arena.release_message
 
             def deliver_and_release(

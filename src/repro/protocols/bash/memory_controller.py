@@ -26,6 +26,7 @@ from ...coherence.directory import DirectoryEntry
 from ...errors import ProtocolError
 from ...interconnect.message import DestinationUnit, Message, MessageType
 from ..snooping.memory_controller import OrderedHomeMemoryController
+from ..dispatch import pristine_snapshot
 
 
 class BashMemoryController(OrderedHomeMemoryController):
@@ -139,3 +140,11 @@ class BashMemoryController(OrderedHomeMemoryController):
             issue_time=self.now,
         )
         self.interconnect.send_unordered(nack)
+
+
+#: Captured at import, resolving BASH's own overrides: the home-serve
+#: methods the compiled delivery objects inline (mem_mode 2).
+INLINED_PRISTINE = pristine_snapshot(
+    BashMemoryController,
+    ("_ordered_request", "_serve_request", "_note_request_observed"),
+)

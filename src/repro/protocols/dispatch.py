@@ -29,11 +29,56 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Mapping, NoReturn
 
+from ..coherence.block import CacheBlock
+from ..coherence.directory import DirectoryEntry
+from ..coherence.transaction import Transaction
 from ..errors import ProtocolError
 from ..interconnect.message import Message, MessageType
+from ..sim.arena import SimulationArena
 
 #: A compiled dispatch table: message type -> bound handler.
 HandlerTable = Dict[MessageType, Callable[[Message], None]]
+
+
+def pristine_snapshot(cls, names):
+    """Capture ``(cls, name, attribute)`` triples at import time.
+
+    The compiled delivery objects inline the *semantics* of specific
+    methods rather than calling them, so they must decline whenever one of
+    those methods is no longer the definition the C code mirrors — a
+    subclass override (already excluded by the exact-type checks) or a
+    class-level monkeypatch (bug-injection tests patch hooks like
+    ``_serve_stable`` to corrupt a protocol on purpose; the compiled path
+    must not silently mask the injected bug).  Each protocol module
+    snapshots its inlined hooks right after the class definition;
+    :func:`is_pristine` then compares by identity at compile time.
+    """
+    return tuple((cls, name, getattr(cls, name)) for name in names)
+
+
+def is_pristine(*snapshots) -> bool:
+    """True when every snapshotted attribute is still the captured object."""
+    return all(
+        getattr(cls, name) is attribute
+        for snapshot in snapshots
+        for cls, name, attribute in snapshot
+    )
+
+
+#: Data-layer methods the C fast paths mirror field-for-field.
+TRANSACTION_PRISTINE = pristine_snapshot(
+    Transaction, ("record_marker", "invalidated_after")
+)
+BLOCK_PRISTINE = pristine_snapshot(CacheBlock, ("invalidate", "become_owner"))
+DIR_ENTRY_PRISTINE = pristine_snapshot(
+    DirectoryEntry, ("grant_exclusive", "add_sharer", "is_sufficient")
+)
+
+
+#: The arena release hooks the compiled DATA entry calls as bound methods.
+ARENA_PRISTINE = pristine_snapshot(
+    SimulationArena, ("release_transaction", "release_message")
+)
 
 
 def compile_handlers(
@@ -55,6 +100,49 @@ def compile_handlers(
             )
         table[msg_type] = handler
     return table
+
+
+def handler_accelerator(controller):
+    """The extension module when compiled delivery entries apply, else None.
+
+    Compiled handler fast paths are keyed off the controller's *scheduler
+    instance* (exactly like the interconnect's C closures): a controller
+    wired to a compiled scheduler gets C delivery objects, one wired to a
+    pure scheduler keeps the reference Python entries — so pure and
+    compiled systems interoperate in one process.  Additionally requires
+    the handler layer itself (an ``.so`` built before it existed provides
+    only the event core), and injects the protocol singletons the C side
+    compares by identity on first use.
+    """
+    from .. import _core  # noqa: PLC0415 - layer order: dispatch sits above
+
+    scheduler = getattr(controller, "scheduler", None)
+    if scheduler is None:
+        return None
+    ext = _core.accelerator_for(scheduler)
+    if ext is None or not hasattr(ext, "SnoopDeliver"):
+        return None
+    from ..coherence.state import MEMORY_OWNER, MOSIState  # noqa: PLC0415
+
+    ext._init_protocol(
+        MessageType.GETS,
+        MessageType.GETM,
+        MOSIState.MODIFIED,
+        MOSIState.OWNED,
+        MOSIState.SHARED,
+        MOSIState.INVALID,
+        MEMORY_OWNER,
+    )
+    return ext
+
+
+def note_selection(controller: object, msg_type: MessageType, status: str) -> None:
+    """Record a per-handler compile/decline decision in the backend registry."""
+    from .. import _core  # noqa: PLC0415
+
+    _core.note_handler_selection(
+        f"{type(controller).__name__}.{msg_type.name}", status
+    )
 
 
 def reject(controller: object, network: str, message: Message) -> NoReturn:

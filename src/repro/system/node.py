@@ -90,7 +90,16 @@ class Node:
                 controller = self.cache_controller
             else:
                 controller = self.memory_controller
-            handler = controller.unordered_handlers.get(msg_type)
+            handler = None
+            # A compiled backend may offer a C delivery object for this
+            # entry (same per-handler decline rule as the ordered path).
+            compile_accelerated = getattr(
+                controller, "compile_accelerated_unordered", None
+            )
+            if compile_accelerated is not None:
+                handler = compile_accelerated(msg_type)
+            if handler is None:
+                handler = controller.unordered_handlers.get(msg_type)
             if handler is None:
                 handler = rejecter(controller, "unordered")
             entry = self._unordered_entries[key] = handler
@@ -98,6 +107,20 @@ class Node:
 
     def _compile_ordered(self, msg_type: MessageType) -> DeliveryEntry:
         memory_handler = self.memory_controller.ordered_handlers.get(msg_type)
+        # A compiled backend may offer a C delivery object for this entry
+        # (the coherence fast paths); protocols decline per handler —
+        # returning None — whenever their dispatch tables have been
+        # customised, falling through to the fused closure and then the
+        # generic table-driven path, which stay authoritative.
+        compile_accelerated = getattr(
+            self.cache_controller, "compile_accelerated_ordered", None
+        )
+        if compile_accelerated is not None:
+            accelerated = compile_accelerated(
+                msg_type, self.memory_controller, self._home_filter
+            )
+            if accelerated is not None:
+                return accelerated
         # Protocols may offer a fully fused delivery closure (snoop early-out
         # plus home-filtered memory dispatch in one frame) for their hottest
         # ordered types; they decline — returning None — whenever the dispatch

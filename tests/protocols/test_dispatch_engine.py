@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import _core
 from repro.common.config import ProtocolName
 from repro.errors import ProtocolError
 from repro.interconnect.message import DestinationUnit, Message, MessageType
@@ -22,6 +23,11 @@ from repro.protocols.snooping.cache_controller import SnoopingCacheController
 from repro.protocols.snooping.memory_controller import SnoopingMemoryController
 
 from ..conftest import ALL_PROTOCOLS, build_trace_system
+
+needs_compiled = pytest.mark.skipif(
+    not _core.compiled_available(),
+    reason="compiled extension not built (python -m repro._core.build)",
+)
 
 #: The complete dispatch contract: for every controller class, the message
 #: types it handles per network.  Everything else is explicitly rejected
@@ -157,7 +163,12 @@ class TestCompiledDispatch:
         system = _system(ProtocolName.DIRECTORY)
         node = system.nodes[1]
         entry = node.ordered_entry(MessageType.MARKER)
-        assert entry is node.cache_controller.ordered_handlers[MessageType.MARKER]
+        # Under a compiled backend the entry is the C delivery object for
+        # the same handler; under pure it is the bare bound method.
+        assert (
+            entry is node.cache_controller.ordered_handlers[MessageType.MARKER]
+            or type(entry).__name__ == "DirDeliver"
+        )
 
     def test_snooping_ordered_entries_wrap_the_home_filter(self):
         system = _system(ProtocolName.SNOOPING)
@@ -179,3 +190,80 @@ class TestCompiledDispatch:
 
         with pytest.raises(ProtocolError, match="no such method"):
             compile_handlers(Dangling(), {MessageType.DATA: "_missing_method"})
+
+
+class TestCompiledDataEntries:
+    """The unordered DATA fast path: selection, decline, and release folding."""
+
+    @needs_compiled
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS, ids=str)
+    def test_data_entry_is_the_c_delivery_object(self, protocol):
+        with _core.use_backend("compiled"):
+            system = _system(protocol)
+            node = system.nodes[1]
+            entry = node.unordered_entry(DestinationUnit.CACHE, MessageType.DATA)
+            assert type(entry).__name__ == "DataDeliver"
+            # DATA is point-to-point (exactly one delivery), so the arena
+            # release is folded into the C call; the network must see the
+            # advertisement and skip its deliver_and_release wrapper.
+            has_arena = getattr(system.simulator.scheduler, "arena", None) is not None
+            assert entry.releases_message is has_arena
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS, ids=str)
+    def test_pure_backend_keeps_the_bound_method(self, protocol):
+        with _core.use_backend("pure"):
+            system = _system(protocol)
+            node = system.nodes[1]
+            entry = node.unordered_entry(DestinationUnit.CACHE, MessageType.DATA)
+            controller = node.cache_controller
+            assert entry is controller.unordered_handlers[MessageType.DATA]
+
+    @needs_compiled
+    @pytest.mark.parametrize(
+        "controller_class, method_name",
+        [
+            (SnoopingCacheController, "_finish_gets"),
+            (DirectoryCacheController, "_complete"),
+            (BashCacheController, "_handle_data"),
+        ],
+        ids=lambda value: getattr(value, "__name__", value),
+    )
+    def test_patched_data_chain_declines_to_pure(
+        self, monkeypatch, controller_class, method_name
+    ):
+        """A class-level monkeypatch of any inlined method keeps the pure
+        handler authoritative for the DATA entry (bug-injection tests rely
+        on exactly this)."""
+        protocol = {
+            SnoopingCacheController: ProtocolName.SNOOPING,
+            DirectoryCacheController: ProtocolName.DIRECTORY,
+            BashCacheController: ProtocolName.BASH,
+        }[controller_class]
+        original = getattr(controller_class, method_name)
+
+        def patched(self, *args, **kwargs):
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(controller_class, method_name, patched)
+        with _core.use_backend("compiled"):
+            system = _system(protocol)
+            node = system.nodes[1]
+            entry = node.unordered_entry(DestinationUnit.CACHE, MessageType.DATA)
+            assert entry is node.cache_controller.unordered_handlers[MessageType.DATA]
+
+    @needs_compiled
+    def test_swapped_table_entry_declines_to_pure(self):
+        """An instance-level table swap (no class patch) also declines."""
+        with _core.use_backend("compiled"):
+            system = _system(ProtocolName.SNOOPING)
+            node = system.nodes[1]
+            controller = node.cache_controller
+            seen = []
+
+            def custom_handler(message):
+                seen.append(message)
+
+            controller.unordered_handlers[MessageType.DATA] = custom_handler
+            node.invalidate_dispatch_cache()
+            entry = node.unordered_entry(DestinationUnit.CACHE, MessageType.DATA)
+            assert entry is custom_handler

@@ -113,9 +113,21 @@ class TestBackendInfo:
             "compiled_loaded",
             "compiled_version",
             "compiled_import_error",
+            "components",
+            "handler_selections",
         }
         assert info["name"] in ("pure", "compiled")
         assert info["env_var"] == "REPRO_BACKEND"
+        assert set(info["components"]) == {"event_core", "handlers"}
+        if info["name"] == "pure":
+            assert info["components"] == {"event_core": "pure", "handlers": "pure"}
+        else:
+            assert info["components"]["event_core"] == "compiled"
+            assert info["components"]["handlers"] in ("compiled", "unavailable")
+        assert all(
+            status in ("compiled", "declined")
+            for status in info["handler_selections"].values()
+        )
 
     def test_use_backend_restores_previous_selection(self):
         before = _core.backend_info()

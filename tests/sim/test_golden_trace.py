@@ -80,9 +80,11 @@ def _replay(name: str, cfg: dict):
 
 #: "directory_fastpath" squeezes the cache (2 blocks) so evictions force the
 #: full home-unicast -> marker -> forward pipeline *including* writebacks and
-#: PUT_ACK/PUT_NACK responses through the compiled dispatch tables.  The four
+#: PUT_ACK/PUT_NACK responses through the compiled dispatch tables.  The
 #: pattern-workload entries pin the PR-4 scenario workloads' event schedules
-#: (one protocol each) exactly like the microbenchmark's.
+#: under **every** protocol (the ``<pattern>_<protocol>`` entries fill in the
+#: combinations the original one-protocol-each capture left out), so each
+#: compiled delivery object replays each sharing pattern bit for bit.
 @pytest.mark.parametrize(
     "name",
     [
@@ -91,9 +93,17 @@ def _replay(name: str, cfg: dict):
         "bash",
         "directory_fastpath",
         "migratory",
+        "migratory_directory",
+        "migratory_bash",
         "producer_consumer",
+        "producer_consumer_snooping",
+        "producer_consumer_bash",
         "web_serving",
+        "web_serving_snooping",
+        "web_serving_directory",
         "mixed_trace",
+        "mixed_trace_snooping",
+        "mixed_trace_bash",
     ],
 )
 def test_fired_event_sequence_matches_golden_trace(name, backend):

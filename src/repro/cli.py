@@ -27,6 +27,16 @@ invariant monitoring and failure-trace shrinking::
 A failing campaign exits nonzero and (with ``--artifact-dir``) writes each
 shrunk failing trace as a replayable JSON artifact.
 
+``serve`` and ``worker`` expose the fault-tolerant campaign service: a
+coordinator shards a sweep into durable work units in a crash-safe store,
+pull-workers claim them under lease timeouts, and interrupted campaigns
+resume with zero recomputation of finished units::
+
+    python -m repro serve figure1 --store /tmp/units --workers 2 --json -
+    python -m repro worker --store /tmp/units        # extra pullers, any host
+    python -m repro serve figure1 --store /tmp/units --workers 1 \\
+        --fault-plan kill-after:3                    # chaos drill
+
 ``backend`` reports which event-core backend (pure Python or the compiled
 ``repro._core`` extension) this process would simulate with and why —
 ``$REPRO_BACKEND``, automatic detection, or fallback::
@@ -176,6 +186,98 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_path", default=None, metavar="FILE",
         help="write the campaign result as JSON to FILE ('-' for stdout)",
     )
+    verify_parser.add_argument(
+        "--service-store", default=None, metavar="DIR",
+        help="run the campaign through the durable job service backed by "
+        "DIR (resumable; workers pull leased units)",
+    )
+    verify_parser.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help="chaos-test the service run (kill-after:K, drop-heartbeats, "
+        "corrupt-result:N; comma-separated)",
+    )
+    verify_parser.add_argument(
+        "--lease-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="service lease timeout before a dead worker's unit is "
+        "re-dispatched (default: 30)",
+    )
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run a sweep scenario through the fault-tolerant job service",
+    )
+    serve_parser.add_argument("scenario", help="a grid scenario from `list`")
+    serve_parser.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="durable job store directory (shared with `worker` processes)",
+    )
+    serve_parser.add_argument(
+        "--scale", default="quick", metavar="NAME",
+        help=f"experiment scale ({', '.join(sorted(SCALES))}; default: quick)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="spawn N pull-worker processes (0/unset = drain inline; "
+        "external `python -m repro worker` pullers also count)",
+    )
+    serve_parser.add_argument(
+        "--axis", action="append", metavar="NAME=V1,V2", dest="axes",
+        help="override an axis grid of the scenario (repeatable)",
+    )
+    serve_parser.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help="chaos-test the run (kill-after:K, drop-heartbeats, "
+        "corrupt-result:N; comma-separated)",
+    )
+    serve_parser.add_argument(
+        "--lease-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="lease timeout before a dead worker's unit is re-dispatched "
+        "(default: 30)",
+    )
+    serve_parser.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="quarantine a unit as poison after N failed attempts "
+        "(default: 3)",
+    )
+    serve_parser.add_argument(
+        "--stall-timeout", type=float, default=300.0, metavar="SECONDS",
+        help="abort the campaign if no unit finishes for this long "
+        "(default: 300)",
+    )
+    serve_parser.add_argument(
+        "--json", dest="json_path", default=None, metavar="FILE",
+        help="write the service summary as JSON to FILE ('-' for stdout)",
+    )
+
+    worker_parser = commands.add_parser(
+        "worker",
+        help="pull and execute work units from a job store until it drains",
+    )
+    worker_parser.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="job store directory to pull from",
+    )
+    worker_parser.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="stable worker identity (default: derived from pid)",
+    )
+    worker_parser.add_argument(
+        "--lease-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="lease timeout this worker renews against (default: 30)",
+    )
+    worker_parser.add_argument(
+        "--max-units", type=int, default=None, metavar="N",
+        help="exit after completing N units (default: run until drained)",
+    )
+    worker_parser.add_argument(
+        "--keep-alive", action="store_true",
+        help="keep polling for new units instead of exiting when idle",
+    )
+    worker_parser.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help="chaos-test this worker (kill-after:K, drop-heartbeats, "
+        "corrupt-result:N)",
+    )
 
     backend_parser = commands.add_parser(
         "backend",
@@ -291,7 +393,90 @@ def _command_run(args) -> int:
     return 0
 
 
+def _service_config(args, workers=None):
+    """Build a ServiceConfig from the shared service CLI options."""
+    from .experiments.service import FaultPlan, ServiceConfig
+
+    return ServiceConfig(
+        store=args.store if hasattr(args, "store") else args.service_store,
+        workers=workers,
+        fault_plan=FaultPlan.parse(args.fault_plan),
+        lease_timeout=args.lease_timeout,
+        max_attempts=getattr(args, "max_attempts", 3),
+        stall_timeout=getattr(args, "stall_timeout", 300.0),
+    )
+
+
+def _command_serve(args) -> int:
+    import time
+
+    from .experiments.service import run_service_sweep
+
+    scenario = get_scenario(args.scenario)
+    if scenario.kind != "grid":
+        raise ReproError(
+            f"scenario {args.scenario!r} is {scenario.kind}, not a sweep; "
+            "the job service only shards sweeps"
+        )
+    grid = scenario.grid(args.scale, axes=_parse_axis_overrides(args.axes))
+    specs = grid.specs()
+    started = time.perf_counter()
+    points, summary = run_service_sweep(
+        specs, _service_config(args, workers=args.workers), strict=False
+    )
+    completed = sum(1 for point in points if point is not None)
+    ok = completed == len(points) and not summary.quarantined
+    payload = {
+        "scenario": args.scenario,
+        "scale": args.scale,
+        "store": str(args.store),
+        "units": len(specs),
+        "completed": completed,
+        "ok": ok,
+        "wall_seconds": round(time.perf_counter() - started, 3),
+        "summary": summary.to_jsonable(),
+    }
+    if args.json_path is not None:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json_path == "-":
+            print(text)
+        else:
+            with open(args.json_path, "w") as handle:
+                handle.write(text + "\n")
+    if args.json_path != "-":
+        status = "PASS" if ok else f"FAIL ({len(summary.quarantined)} poison)"
+        print(
+            f"serve {args.scenario} [{args.scale}]: {status} — "
+            f"{completed}/{len(specs)} units "
+            f"({summary.resumed} resumed, {summary.redispatched} re-dispatched,"
+            f" {summary.worker_deaths} worker death(s)) in "
+            f"{payload['wall_seconds']:.1f}s"
+        )
+    return 0 if ok else 1
+
+
+def _command_worker(args) -> int:
+    from .experiments.jobstore import JobStore
+    from .experiments.service import FaultPlan, run_worker
+
+    store = JobStore(args.store, lease_timeout=args.lease_timeout)
+    stats = run_worker(
+        store,
+        worker_id=args.worker_id,
+        fault=FaultPlan.parse(args.fault_plan),
+        exit_when_idle=not args.keep_alive,
+        max_units=args.max_units,
+    )
+    print(json.dumps(stats.to_jsonable(), indent=2, sort_keys=True))
+    return 0
+
+
 def _command_verify(args) -> int:
+    service = None
+    if args.service_store is not None:
+        service = _service_config(args, workers=args.workers)
+    elif args.fault_plan is not None:
+        raise ReproError("--fault-plan requires --service-store")
     result = run_campaign(
         args.campaign,
         workers=args.workers,
@@ -299,6 +484,7 @@ def _command_verify(args) -> int:
         seeds=_parse_seed_range(args.seed_range),
         artifact_dir=args.artifact_dir,
         shrink=not args.no_shrink,
+        service=service,
     )
     payload = None
     if args.json_path is not None:
@@ -336,6 +522,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_backend(args)
         if args.command == "verify":
             return _command_verify(args)
+        if args.command == "serve":
+            return _command_serve(args)
+        if args.command == "worker":
+            return _command_worker(args)
         return _command_run(args)
     except (ReproError, _core.BackendError) as error:
         print(f"error: {error}", file=sys.stderr)

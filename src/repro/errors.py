@@ -33,3 +33,11 @@ class WorkloadError(ReproError):
 
 class VerificationError(ReproError):
     """A verification check (invariant, consistency, random test) failed."""
+
+
+class JobStoreError(ReproError):
+    """A durable job store was used incorrectly or is unreadable."""
+
+
+class ServiceError(ReproError):
+    """The fault-tolerant campaign service could not complete a campaign."""

@@ -1,0 +1,583 @@
+"""Durable, crash-safe work-unit store for distributed campaigns.
+
+The campaign service (:mod:`repro.experiments.service`) shards sweeps and
+verification campaigns into self-describing *work units* persisted in a
+:class:`JobStore` — a plain directory, shareable between any number of worker
+processes on one filesystem.  The store is the single source of truth for a
+campaign's progress: every unit is exactly one JSON *ticket* file living in
+the directory named after its state, and every transition is one atomic
+filesystem operation, so a crash at any instant leaves the store recoverable:
+
+``pending/``
+    claimable tickets.  ``claim()`` is ``os.rename(pending/X, leased/X)`` —
+    atomic on POSIX, so exactly one worker wins a unit no matter how many
+    race for it.
+``leased/``
+    tickets being executed.  A lease sidecar (``leases/X.json``, written with
+    ``os.replace``) records the worker, a fencing ``lease_id`` and a wall
+    clock deadline; workers renew it by heartbeat.  A crashed or wedged
+    worker stops renewing, the deadline passes, and :meth:`recover` moves the
+    ticket back to ``pending/`` — worker death is a re-dispatch, not a loss.
+``done/``
+    completed tickets; the unit's result lives in ``results/X.json``
+    (``os.replace``-d into place *before* the ticket moves, so a ``done``
+    ticket always has a complete result behind it — or is quarantined for
+    recomputation if that result turns out unreadable).
+``failed/``
+    tickets awaiting their retry backoff (exponential in the attempt count).
+``quarantine/``
+    poison units that failed ``max_attempts`` times.  A failure artifact is
+    recorded under ``artifacts/`` and the campaign *continues* — graceful
+    degradation, never a hang.
+
+An append-only ``journal.jsonl`` records every transition (enqueue, claim,
+done, failed, lease-expired, requeue, retry, speculate, quarantine, ...) so
+resume semantics are auditable: the chaos tests assert "zero recomputation of
+``done`` units" directly from the journal.
+
+Execution is **at-least-once**: a lease can expire under a worker that is
+merely slow, and speculation deliberately double-dispatches stragglers, so
+the same unit may run twice.  That is safe here by construction — campaign
+units are deterministic (the reset-equivalence and parallel==serial
+contracts), so duplicate executions produce identical results and whichever
+commit lands first wins; the loser is fenced by its stale ``lease_id`` or by
+the ticket having already moved.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from ..errors import JobStoreError
+
+#: Work-unit states; a ticket is exactly one file in the directory of its state.
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+FAILED = "failed"
+QUARANTINED = "quarantine"
+
+STATES = (PENDING, LEASED, DONE, FAILED, QUARANTINED)
+
+#: Resolution priority when a crash mid-transition leaves a unit's ticket in
+#: two state directories at once (transitions write the target before
+#: unlinking the source): the *target* of any legal transition outranks its
+#: source, so keeping the highest-priority copy always lands the unit where
+#: the interrupted transition was headed.
+_PRIORITY = (DONE, QUARANTINED, FAILED, PENDING, LEASED)
+
+
+@dataclass
+class WorkUnit:
+    """One self-describing unit of campaign work.
+
+    ``unit_id`` is the unit's durable identity — the existing config-hash
+    cache key for sweep points, a content hash for verification tasks — so
+    re-enqueueing the same campaign into the same store finds its completed
+    units instead of recomputing them.  ``payload`` is whatever the executor
+    (:func:`repro.experiments.service.execute_unit`) needs, JSON-encodable.
+    """
+
+    unit_id: str
+    kind: str
+    description: str = ""
+    payload: Dict = field(default_factory=dict)
+    attempts: int = 0
+    not_before: float = 0.0
+    enqueued_at: float = 0.0
+    last_error: Optional[str] = None
+
+    def to_jsonable(self) -> Dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_jsonable(cls, data: Dict) -> "WorkUnit":
+        return cls(**data)
+
+
+@dataclass
+class Lease:
+    """A claimed unit plus the fencing token proving the claim is still ours."""
+
+    unit: WorkUnit
+    lease_id: str
+    worker_id: str
+    deadline: float
+
+
+class JobStore:
+    """Filesystem-backed durable work queue (see the module docstring).
+
+    All timestamps are wall-clock seconds from ``clock`` (default
+    :func:`time.time`); tests inject a fake clock to exercise lease expiry
+    and retry backoff without sleeping.
+    """
+
+    def __init__(
+        self,
+        root,
+        lease_timeout: float = 30.0,
+        max_attempts: int = 3,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.root = Path(root).expanduser()
+        self.lease_timeout = float(lease_timeout)
+        self.max_attempts = int(max_attempts)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.clock = clock
+        for state in STATES:
+            (self.root / state).mkdir(parents=True, exist_ok=True)
+        (self.root / "leases").mkdir(exist_ok=True)
+        (self.root / "results").mkdir(exist_ok=True)
+        self.artifacts_dir = self.root / "artifacts"
+        self.artifacts_dir.mkdir(exist_ok=True)
+        self.journal_path = self.root / "journal.jsonl"
+
+    # ------------------------------------------------------------ primitives
+
+    def _ticket(self, state: str, unit_id: str) -> Path:
+        return self.root / state / f"{unit_id}.json"
+
+    def _lease_path(self, unit_id: str) -> Path:
+        return self.root / "leases" / f"{unit_id}.json"
+
+    def result_path(self, unit_id: str) -> Path:
+        return self.root / "results" / f"{unit_id}.json"
+
+    def _write_json(self, path: Path, payload: Dict) -> None:
+        """Atomic write: unique temp file in the same directory + os.replace."""
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(payload, sort_keys=True))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            raise
+
+    def _read_json(self, path: Path) -> Optional[Dict]:
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, ValueError) as error:
+            raise JobStoreError(f"unreadable store file {path}: {error}") from error
+
+    def journal(self, event: str, unit_id: str = "", **fields) -> None:
+        """Append one transition record; a single O_APPEND write per line."""
+        record = {"t": round(self.clock(), 3), "event": event}
+        if unit_id:
+            record["unit"] = unit_id
+        record.update(fields)
+        line = (json.dumps(record, sort_keys=True) + "\n").encode()
+        fd = os.open(self.journal_path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+
+    def journal_entries(self, offset: int = 0) -> List[Dict]:
+        """Parsed journal records, skipping the first ``offset`` lines."""
+        try:
+            lines = self.journal_path.read_text().splitlines()
+        except FileNotFoundError:
+            return []
+        entries = []
+        for line in lines[offset:]:
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:  # torn final line after a crash
+                continue
+        return entries
+
+    def journal_offset(self) -> int:
+        """Current journal length, for run-scoped summaries after a resume."""
+        try:
+            return len(self.journal_path.read_text().splitlines())
+        except FileNotFoundError:
+            return 0
+
+    # ----------------------------------------------------------------- query
+
+    def find(self, unit_id: str) -> Optional[str]:
+        """The state a unit is currently in, or None if unknown."""
+        for state in _PRIORITY:
+            if self._ticket(state, unit_id).exists():
+                return state
+        return None
+
+    def ids(self, state: str) -> List[str]:
+        """Sorted unit ids currently in ``state``."""
+        return sorted(
+            path.stem for path in (self.root / state).glob("*.json")
+        )
+
+    def counts(self) -> Dict[str, int]:
+        return {state: len(self.ids(state)) for state in STATES}
+
+    def unit(self, unit_id: str) -> WorkUnit:
+        """Load a unit's ticket from whatever state it is in."""
+        state = self.find(unit_id)
+        if state is None:
+            raise JobStoreError(f"unknown unit {unit_id!r}")
+        data = self._read_json(self._ticket(state, unit_id))
+        if data is None:
+            raise JobStoreError(f"unit {unit_id!r} vanished mid-read")
+        return WorkUnit.from_jsonable(data)
+
+    # --------------------------------------------------------------- enqueue
+
+    def enqueue(self, unit: WorkUnit) -> str:
+        """Add a unit; a unit already known keeps its state (resume!).
+
+        Returns the state the unit is in afterwards: ``done`` means the
+        store already has a committed result for this id and nothing will be
+        recomputed.
+        """
+        existing = self.find(unit.unit_id)
+        if existing is not None:
+            return existing
+        ticket = dataclasses.replace(unit, enqueued_at=self.clock())
+        self._write_json(self._ticket(PENDING, unit.unit_id), ticket.to_jsonable())
+        self.journal("enqueue", unit.unit_id, kind=unit.kind)
+        return PENDING
+
+    # ----------------------------------------------------------------- claim
+
+    def claim(self, worker_id: str) -> Optional[Lease]:
+        """Atomically claim one ready pending unit, or None.
+
+        The winning rename is the *only* arbitration: concurrent claimants
+        racing for the same ticket all attempt the same rename and exactly
+        one succeeds; the rest move on to the next candidate.
+        """
+        now = self.clock()
+        for unit_id in self.ids(PENDING):
+            source = self._ticket(PENDING, unit_id)
+            data = self._read_json(source)
+            if data is None:  # lost the race before we even tried
+                continue
+            unit = WorkUnit.from_jsonable(data)
+            if unit.not_before > now:
+                continue
+            target = self._ticket(LEASED, unit_id)
+            try:
+                os.rename(source, target)
+            except FileNotFoundError:
+                continue  # another claimant won this ticket
+            lease = Lease(
+                unit=unit,
+                lease_id=uuid.uuid4().hex,
+                worker_id=worker_id,
+                deadline=now + self.lease_timeout,
+            )
+            self._write_json(
+                self._lease_path(unit_id),
+                {
+                    "lease_id": lease.lease_id,
+                    "worker_id": worker_id,
+                    "deadline": lease.deadline,
+                    "claimed_at": now,
+                },
+            )
+            self.journal(
+                "claim", unit_id, worker=worker_id, attempt=unit.attempts + 1
+            )
+            return lease
+        return None
+
+    def heartbeat(self, lease: Lease) -> bool:
+        """Renew the lease deadline; False means the lease was lost (fenced)."""
+        sidecar = self._read_json(self._lease_path(lease.unit.unit_id))
+        if sidecar is None or sidecar.get("lease_id") != lease.lease_id:
+            return False
+        lease.deadline = self.clock() + self.lease_timeout
+        self._write_json(
+            self._lease_path(lease.unit.unit_id),
+            {**sidecar, "deadline": lease.deadline},
+        )
+        return True
+
+    def _holds_lease(self, lease: Lease) -> bool:
+        sidecar = self._read_json(self._lease_path(lease.unit.unit_id))
+        return sidecar is not None and sidecar.get("lease_id") == lease.lease_id
+
+    # ---------------------------------------------------------- transitions
+
+    def complete(self, lease: Lease, result: Dict, _corrupt: bool = False) -> bool:
+        """Commit a finished unit: result first, then the ticket to ``done``.
+
+        Returns False when the commit was fenced — the lease expired and the
+        unit was re-dispatched (or already completed) elsewhere.  Fencing a
+        *correct* duplicate result is harmless: units are deterministic, so
+        whichever commit landed recorded the same values.
+
+        ``_corrupt`` is the :class:`~repro.experiments.service.FaultPlan`
+        chaos hook: it commits a deliberately torn result write so the
+        read-side corruption quarantine can be tested end to end.
+        """
+        unit_id = lease.unit.unit_id
+        if not self._holds_lease(lease):
+            self.journal("commit-fenced", unit_id, worker=lease.worker_id)
+            return False
+        if _corrupt:
+            # Simulate a torn write: bypass the atomic temp-file protocol.
+            self.result_path(unit_id).write_text('{"kind": "torn')
+        else:
+            self._write_json(
+                self.result_path(unit_id),
+                {"unit_id": unit_id, "kind": lease.unit.kind, "result": result},
+            )
+        source = self._ticket(LEASED, unit_id)
+        try:
+            os.rename(source, self._ticket(DONE, unit_id))
+        except FileNotFoundError:
+            self.journal("commit-fenced", unit_id, worker=lease.worker_id)
+            return False
+        self._lease_path(unit_id).unlink(missing_ok=True)
+        self.journal("done", unit_id, worker=lease.worker_id)
+        return True
+
+    def _backoff(self, attempts: int) -> float:
+        return min(self.backoff_cap, self.backoff_base * (2 ** max(0, attempts - 1)))
+
+    def _retire(self, unit: WorkUnit, reason: str, worker: str = "") -> str:
+        """Move a unit that just failed an attempt to ``failed`` or quarantine."""
+        unit_id = unit.unit_id
+        if unit.attempts >= self.max_attempts:
+            self._write_json(self._ticket(QUARANTINED, unit_id), unit.to_jsonable())
+            artifact = self.artifacts_dir / f"{unit_id}.poison.json"
+            self._write_json(
+                artifact,
+                {
+                    "format": "repro-poison-unit-v1",
+                    "unit": unit.to_jsonable(),
+                    "reason": reason,
+                },
+            )
+            self.journal(
+                "quarantine",
+                unit_id,
+                attempts=unit.attempts,
+                artifact=str(artifact),
+                worker=worker,
+            )
+            return QUARANTINED
+        self._write_json(self._ticket(FAILED, unit_id), unit.to_jsonable())
+        self.journal(
+            "failed",
+            unit_id,
+            attempts=unit.attempts,
+            retry_at=round(unit.not_before, 3),
+            worker=worker,
+        )
+        return FAILED
+
+    def fail(self, lease: Lease, error: str) -> str:
+        """Record a failed attempt; backoff-retry or quarantine after N tries."""
+        if not self._holds_lease(lease):
+            # The lease expired and the unit was re-dispatched: its fate now
+            # belongs to the new holder, not to this stale attempt.
+            self.journal("fail-fenced", lease.unit.unit_id, worker=lease.worker_id)
+            return self.find(lease.unit.unit_id) or PENDING
+        unit = dataclasses.replace(
+            lease.unit,
+            attempts=lease.unit.attempts + 1,
+            last_error=str(error)[-2000:],
+        )
+        unit.not_before = self.clock() + self._backoff(unit.attempts)
+        state = self._retire(unit, unit.last_error, worker=lease.worker_id)
+        self._ticket(LEASED, unit.unit_id).unlink(missing_ok=True)
+        self._lease_path(unit.unit_id).unlink(missing_ok=True)
+        return state
+
+    def release(self, lease: Lease) -> None:
+        """Hand an unfinished unit back (graceful shutdown; no attempt burned)."""
+        if not self._holds_lease(lease):
+            return
+        self._write_json(
+            self._ticket(PENDING, lease.unit.unit_id), lease.unit.to_jsonable()
+        )
+        self._ticket(LEASED, lease.unit.unit_id).unlink(missing_ok=True)
+        self._lease_path(lease.unit.unit_id).unlink(missing_ok=True)
+        self.journal("release", lease.unit.unit_id, worker=lease.worker_id)
+
+    # ---------------------------------------------------------------- results
+
+    def load_result(self, unit_id: str) -> Optional[Dict]:
+        """The committed result payload of a ``done`` unit.
+
+        A torn or garbled result file (crash or fault injection mid-write) is
+        quarantined to ``<name>.corrupt`` and the unit is re-queued for
+        recomputation; the caller sees None now and a fresh result after the
+        next drain.
+        """
+        path = self.result_path(unit_id)
+        try:
+            envelope = json.loads(path.read_text())
+            return envelope["result"]
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            corrupt = Path(str(path) + ".corrupt")
+            try:
+                os.replace(path, corrupt)
+            except OSError:  # pragma: no cover - already gone
+                corrupt = None
+            ticket = self._ticket(DONE, unit_id)
+            if ticket.exists():
+                data = self._read_json(ticket)
+                if data is not None:
+                    self._write_json(self._ticket(PENDING, unit_id), data)
+                ticket.unlink(missing_ok=True)
+            self.journal(
+                "result-corrupt",
+                unit_id,
+                quarantined=str(corrupt) if corrupt else None,
+            )
+            return None
+
+    # --------------------------------------------------------------- recovery
+
+    def _dedupe(self) -> None:
+        """Resolve units left in two state dirs by a crash mid-transition."""
+        seen: Dict[str, str] = {}
+        for state in _PRIORITY:
+            for unit_id in self.ids(state):
+                if unit_id in seen:
+                    self._ticket(state, unit_id).unlink(missing_ok=True)
+                    if state == LEASED:
+                        self._lease_path(unit_id).unlink(missing_ok=True)
+                else:
+                    seen[unit_id] = state
+
+    def _expire(self, unit_id: str, reason: str) -> None:
+        """One expired lease: burn an attempt and requeue (or quarantine)."""
+        source = self._ticket(LEASED, unit_id)
+        data = self._read_json(source)
+        if data is None:
+            return
+        unit = WorkUnit.from_jsonable(data)
+        unit.attempts += 1
+        unit.last_error = reason
+        unit.not_before = self.clock() + self._backoff(unit.attempts)
+        self.journal("lease-expired", unit_id, reason=reason, attempts=unit.attempts)
+        if unit.attempts >= self.max_attempts:
+            self._retire(unit, reason)
+        else:
+            self._write_json(self._ticket(PENDING, unit_id), unit.to_jsonable())
+            self.journal("requeue", unit_id, attempts=unit.attempts)
+        source.unlink(missing_ok=True)
+        self._lease_path(unit_id).unlink(missing_ok=True)
+
+    def recover(self) -> Dict[str, int]:
+        """Reclaim expired leases and requeue due retries; safe to call often.
+
+        Any process sharing the store may run recovery — transitions stay
+        atomic single-file operations, so concurrent recovery and claiming
+        interleave safely (a lost race shows up as FileNotFoundError and is
+        skipped).
+        """
+        self._dedupe()
+        now = self.clock()
+        expired = 0
+        for unit_id in self.ids(LEASED):
+            sidecar = self._read_json(self._lease_path(unit_id))
+            if sidecar is None:
+                # Claim crashed between rename and sidecar write: give the
+                # claimant a full lease from the ticket's mtime before
+                # declaring it dead.
+                try:
+                    age = now - self._ticket(LEASED, unit_id).stat().st_mtime
+                except OSError:
+                    continue
+                if age < self.lease_timeout:
+                    continue
+                self._expire(unit_id, "lease sidecar missing")
+                expired += 1
+            elif sidecar.get("deadline", 0.0) < now:
+                self._expire(
+                    unit_id,
+                    f"lease expired (worker {sidecar.get('worker_id', '?')})",
+                )
+                expired += 1
+        retried = 0
+        for unit_id in self.ids(FAILED):
+            source = self._ticket(FAILED, unit_id)
+            data = self._read_json(source)
+            if data is None:
+                continue
+            unit = WorkUnit.from_jsonable(data)
+            if unit.not_before > now:
+                continue
+            self._write_json(self._ticket(PENDING, unit_id), data)
+            source.unlink(missing_ok=True)
+            self.journal("retry", unit_id, attempts=unit.attempts)
+            retried += 1
+        return {"expired": expired, "retried": retried}
+
+    def expire_worker(self, worker_id: str) -> int:
+        """Force-expire every lease held by ``worker_id`` (observed dead).
+
+        The local coordinator watches its spawned worker processes directly,
+        so a worker that died holding leases is re-dispatched immediately
+        instead of after the wall-clock lease timeout.
+        """
+        expired = 0
+        for unit_id in self.ids(LEASED):
+            sidecar = self._read_json(self._lease_path(unit_id))
+            if sidecar is not None and sidecar.get("worker_id") == worker_id:
+                self._expire(unit_id, f"worker {worker_id} died")
+                expired += 1
+        return expired
+
+    # ------------------------------------------------------------ speculation
+
+    def speculate(self, unit_id: str) -> bool:
+        """Double-dispatch a leased straggler: copy its ticket back to pending.
+
+        The first commit (original or speculative) wins; the loser is fenced.
+        Deterministic units make the duplicate execution observationally
+        harmless — this trades redundant work for tail latency, exactly the
+        HPC-workflow straggler pattern.
+        """
+        source = self._ticket(LEASED, unit_id)
+        target = self._ticket(PENDING, unit_id)
+        if not source.exists() or target.exists():
+            return False
+        data = self._read_json(source)
+        if data is None:
+            return False
+        unit = WorkUnit.from_jsonable(data)
+        unit.not_before = 0.0
+        self._write_json(target, unit.to_jsonable())
+        self.journal("speculate", unit_id)
+        return True
+
+    # ------------------------------------------------------------------ misc
+
+    def finished(self, unit_ids: Optional[List[str]] = None) -> bool:
+        """True when every unit has reached ``done`` or ``quarantine``."""
+        if unit_ids is not None:
+            return all(
+                self.find(unit_id) in (DONE, QUARANTINED) for unit_id in unit_ids
+            )
+        counts = self.counts()
+        return not (counts[PENDING] or counts[LEASED] or counts[FAILED])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JobStore({str(self.root)!r}, {self.counts()})"

@@ -41,12 +41,16 @@ import contextlib
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+logger = logging.getLogger(__name__)
 
 from .. import _core
 from ..common.config import ProtocolName
@@ -80,6 +84,95 @@ POOL_FALLBACK_ERRORS = (
 #: drivers) memoises its points there, so an interrupted reproduction resumes
 #: from the completed points instead of recomputing them.
 CACHE_ENV = "REPRO_SWEEP_CACHE"
+
+#: Environment variable supplying the default per-task wall-clock timeout (in
+#: seconds) for the process-pool paths.  A pool task that exceeds it is
+#: cancelled (abandoned if already running), logged, and retried serially, so
+#: one hung point degrades to a slow point instead of stalling the sweep.
+TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+
+
+def default_task_timeout() -> Optional[float]:
+    """Per-task pool timeout from $REPRO_TASK_TIMEOUT, or None (disabled)."""
+    env = os.environ.get(TASK_TIMEOUT_ENV)
+    if not env:
+        return None
+    try:
+        value = float(env)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+def resolve_task_timeout(task_timeout) -> Optional[float]:
+    """Resolve an explicit ``task_timeout`` argument against the env default.
+
+    ``None`` defers to $REPRO_TASK_TIMEOUT; ``False`` (or 0) disables the
+    timeout outright, env var included — mirroring ``cache_dir``'s
+    ``None``/``False`` convention.
+    """
+    if task_timeout is None:
+        return default_task_timeout()
+    if task_timeout is False or not task_timeout:
+        return None
+    return float(task_timeout)
+
+
+def drain_futures(
+    futures: Dict, on_result: Callable, timeout: Optional[float], poll: float = 0.25
+) -> List:
+    """Collect pool futures, enforcing a per-task wall-clock deadline.
+
+    ``futures`` maps Future -> payload; ``on_result(payload, future)`` is
+    called for each completion (exceptions from ``future.result()``
+    propagate to the caller's fallback handling).  Returns the payloads of
+    futures that exceeded ``timeout`` — cancelled if still queued, abandoned
+    if running — which the caller retries serially.  With ``timeout=None``
+    this is plain ``as_completed`` collection.
+    """
+    from concurrent.futures import as_completed, wait as futures_wait
+
+    if timeout is None:
+        for future in as_completed(futures):
+            on_result(futures[future], future)
+        return []
+    deadlines = {future: time.monotonic() + timeout for future in futures}
+    pending = set(futures)
+    timed_out: List = []
+    while pending:
+        done, pending = futures_wait(pending, timeout=poll)
+        for future in done:
+            on_result(futures[future], future)
+        now = time.monotonic()
+        expired = {future for future in pending if now >= deadlines[future]}
+        for future in expired:
+            future.cancel()
+            timed_out.append(futures[future])
+        pending -= expired
+    return timed_out
+
+
+def shutdown_pool(pool, abandoned: bool) -> None:
+    """Dispose of a process pool, harshly if hung tasks were abandoned.
+
+    The normal path waits for workers like the context manager would.  After
+    a task timeout the pool may hold a wedged worker forever, so the
+    abandoned path skips the wait, cancels queued work, and terminates the
+    worker processes — leaking nothing into interpreter shutdown.
+    """
+    if not abandoned:
+        pool.shutdown(wait=True)
+        return
+    # Kill the workers *before* shutdown() discards the process table: the
+    # executor's management thread then observes the dead sentinels, marks
+    # the pool broken, and exits — otherwise the interpreter's atexit hook
+    # would join it forever behind the wedged task.
+    for process in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            process.terminate()
+        except (OSError, AttributeError):  # pragma: no cover - racing exit
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 def available_workers() -> int:
@@ -204,8 +297,20 @@ class SweepCache:
         try:
             return _point_from_json(json.loads(path.read_text()))
         except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-            # Corrupt or stale entry: drop it and recompute.
-            path.unlink(missing_ok=True)
+            # Truncated or garbled entry (interrupted write from a pre-atomic
+            # cache, disk trouble, stray edits): quarantine it for inspection
+            # instead of raising mid-sweep, and recompute the point.
+            quarantined = Path(str(path) + ".corrupt")
+            try:
+                os.replace(path, quarantined)
+                logger.warning(
+                    "quarantined corrupt sweep-cache entry %s -> %s; "
+                    "recomputing the point",
+                    path.name,
+                    quarantined.name,
+                )
+            except OSError:  # pragma: no cover - lost a race; entry is gone
+                path.unlink(missing_ok=True)
             return None
 
     def store(self, key: str, point: SweepPoint) -> None:
@@ -289,6 +394,8 @@ def run_sweep(
     workers: Optional[int] = None,
     cache_dir: Union[os.PathLike, str, bool, None] = None,
     batch: bool = True,
+    service=None,
+    task_timeout: Union[float, bool, None] = None,
 ) -> List[SweepPoint]:
     """Run every spec and return results in input order.
 
@@ -307,10 +414,23 @@ def run_sweep(
     which is wall-time equivalent work to ``batch=False``'s
     build-per-point path but substantially faster; results are identical
     either way.
+
+    ``service`` routes the sweep through the fault-tolerant campaign service
+    instead of the ad-hoc pool: pass a store directory, a
+    :class:`~repro.experiments.jobstore.JobStore`, or a
+    :class:`~repro.experiments.service.ServiceConfig`.  Points become durable
+    leased work units — worker death, retries, resume and poison quarantine
+    all apply — and ``workers`` counts pull-worker processes (``None``/1
+    drains in-process).  Results are field-identical to the serial path.
+
+    ``task_timeout`` (seconds; default $REPRO_TASK_TIMEOUT) bounds each pool
+    task's wall clock: a hung task is cancelled, logged, and retried
+    serially rather than stalling the whole sweep.
     """
     if workers == 0:
         workers = available_workers()
     workers = 1 if workers is None else max(1, workers)
+    timeout = resolve_task_timeout(task_timeout)
 
     if cache_dir is None or cache_dir is True:
         # True is the symmetric spelling of "use the default cache" (False
@@ -336,18 +456,38 @@ def run_sweep(
         if cache is not None and specs[index].is_portable():
             cache.store(specs[index].cache_key(), point)
 
-    parallel_indices = [
-        i for i in pending if workers > 1 and specs[i].is_portable()
-    ]
-    parallel_set = set(parallel_indices)
-    serial_indices = [i for i in pending if i not in parallel_set]
+    if service is not None:
+        # The durable-store path: portable points become leased work units;
+        # ad-hoc (unpicklable) specs keep the in-process serial path below.
+        from .service import run_service_sweep
+
+        service_indices = [i for i in pending if specs[i].is_portable()]
+        if service_indices:
+            points, _summary = run_service_sweep(
+                [specs[i] for i in service_indices],
+                service,
+                workers=None if workers <= 1 else workers,
+            )
+            for index, point in zip(service_indices, points):
+                finish(index, point)
+        parallel_indices: List[int] = []
+        parallel_set = set(parallel_indices)
+        serial_indices = [i for i in pending if not specs[i].is_portable()]
+    else:
+        parallel_indices = [
+            i for i in pending if workers > 1 and specs[i].is_portable()
+        ]
+        parallel_set = set(parallel_indices)
+        serial_indices = [i for i in pending if i not in parallel_set]
 
     if parallel_indices:
         try:
-            from concurrent.futures import ProcessPoolExecutor, as_completed
+            from concurrent.futures import ProcessPoolExecutor
 
             max_workers = min(workers, len(parallel_indices))
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+            abandoned = False
+            try:
                 if batch:
                     chunks = _chunk_pending(specs, parallel_indices, max_workers)
                     futures = {
@@ -359,11 +499,25 @@ def run_sweep(
                         pool.submit(_run_spec, specs[i]): [i]
                         for i in parallel_indices
                     }
-                for future in as_completed(futures):
-                    chunk = futures[future]
+
+                def on_result(chunk: List[int], future) -> None:
                     points = future.result() if batch else [future.result()]
                     for index, point in zip(chunk, points):
                         finish(index, point)
+
+                timed_out = drain_futures(futures, on_result, timeout)
+                if timed_out:
+                    abandoned = True
+                    hung = sorted(i for chunk in timed_out for i in chunk)
+                    logger.warning(
+                        "%d sweep point(s) exceeded the %.1fs task timeout; "
+                        "abandoning their pool tasks and retrying serially",
+                        len(hung),
+                        timeout,
+                    )
+                    serial_indices = sorted(set(serial_indices).union(hung))
+            finally:
+                shutdown_pool(pool, abandoned)
         except POOL_FALLBACK_ERRORS:
             # Restricted environments (no semaphores / fork) and specs that
             # turn out not to pickle fall back to the serial path (points the

@@ -166,10 +166,11 @@ class GridScenario:
         batch: bool = True,
         axes: Optional[Mapping[str, Iterable]] = None,
         fixed: Optional[Mapping[str, object]] = None,
+        service=None,
     ) -> ScenarioResult:
         scale = resolve_scale(scale)
         frame = self.grid(scale, axes=axes, fixed=fixed).run(
-            workers=workers, cache_dir=cache_dir, batch=batch
+            workers=workers, cache_dir=cache_dir, batch=batch, service=service
         )
         try:
             data = (
@@ -247,8 +248,14 @@ def run_scenario(
     batch: bool = True,
     axes: Optional[Mapping[str, Iterable]] = None,
     fixed: Optional[Mapping[str, object]] = None,
+    service=None,
 ) -> ScenarioResult:
-    """Execute a registered scenario by name."""
+    """Execute a registered scenario by name.
+
+    ``service`` routes grid sweeps through the fault-tolerant campaign
+    service (durable work units over a shared store); see
+    :func:`repro.experiments.parallel.run_sweep`.
+    """
     scenario = get_scenario(name)
     if scenario.kind == "grid":
         return scenario.run(
@@ -258,6 +265,7 @@ def run_scenario(
             batch=batch,
             axes=axes,
             fixed=fixed,
+            service=service,
         )
     if axes or fixed:
         raise StudyError(

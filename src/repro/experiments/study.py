@@ -244,11 +244,24 @@ class StudyGrid:
         workers: Optional[int] = None,
         cache_dir=None,
         batch: bool = True,
+        service=None,
     ) -> "ResultFrame":
-        """Execute the grid through the batched sweep executor."""
+        """Execute the grid through the batched sweep executor.
+
+        ``service`` (a store directory, JobStore, or ServiceConfig) routes
+        the sweep through the fault-tolerant campaign service — durable
+        leased work units with retry, resume, and straggler re-dispatch —
+        instead of the in-process pool; results are identical either way.
+        """
         coords = self.coords()
         specs = [self.build_spec(point) for point in coords]
-        points = run_sweep(specs, workers=workers, cache_dir=cache_dir, batch=batch)
+        points = run_sweep(
+            specs,
+            workers=workers,
+            cache_dir=cache_dir,
+            batch=batch,
+            service=service,
+        )
         return ResultFrame.from_grid(
             self.axis_names, coords, points, domains=self.axis_values
         )

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import logging
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -34,7 +35,15 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..common.config import ProtocolName
 from ..errors import VerificationError
 from ..experiments.batch import BatchRunner
-from ..experiments.parallel import POOL_FALLBACK_ERRORS, available_workers
+from ..experiments.parallel import (
+    POOL_FALLBACK_ERRORS,
+    available_workers,
+    drain_futures,
+    resolve_task_timeout,
+    shutdown_pool,
+)
+
+logger = logging.getLogger(__name__)
 from .differential import (
     ALL_PROTOCOLS,
     MemoryTrace,
@@ -112,6 +121,10 @@ class TaskOutcome:
     failures: List[str] = field(default_factory=list)
     protocol_runs: int = 0
     operations: int = 0
+    #: Structured deadlock-watchdog dumps per protocol name, when a replay
+    #: stalled (see :func:`repro.verification.invariants.deadlock_dump`) —
+    #: the hang evidence that artifacts and service workers persist.
+    watchdog_dumps: Dict[str, Dict] = field(default_factory=dict)
 
     def to_jsonable(self) -> Dict:
         return {
@@ -120,7 +133,20 @@ class TaskOutcome:
             "failures": list(self.failures),
             "protocol_runs": self.protocol_runs,
             "operations": self.operations,
+            "watchdog_dumps": dict(self.watchdog_dumps),
         }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict) -> "TaskOutcome":
+        """Rebuild an outcome written by :meth:`to_jsonable` (service store)."""
+        return cls(
+            task=VerificationTask.from_jsonable(data["task"]),
+            ok=bool(data["ok"]),
+            failures=list(data.get("failures", ())),
+            protocol_runs=int(data.get("protocol_runs", 0)),
+            operations=int(data.get("operations", 0)),
+            watchdog_dumps=dict(data.get("watchdog_dumps", {})),
+        )
 
 
 def run_task(
@@ -142,6 +168,11 @@ def run_task(
             failures=list(result.failures),
             protocol_runs=len(result.results),
             operations=len(trace.ops) * len(result.results),
+            watchdog_dumps={
+                str(protocol): replay_result.watchdog_failure
+                for protocol, replay_result in result.results.items()
+                if replay_result.watchdog_failure is not None
+            },
         )
     if task.kind == RANDOM:
         failures: List[str] = []
@@ -241,8 +272,15 @@ def write_artifact(
     task: VerificationTask,
     failures: Sequence[str],
     shrunk: Optional[MemoryTrace],
+    watchdog_dumps: Optional[Dict[str, Dict]] = None,
 ) -> Path:
-    """Persist a replayable JSON description of one campaign failure."""
+    """Persist a replayable JSON description of one campaign failure.
+
+    ``watchdog_dumps`` embeds the deadlock watchdog's structured stall dumps
+    (per protocol) so hang evidence survives the process that observed it —
+    service workers write this artifact *before* committing an outcome, i.e.
+    before their lease can expire.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     # Every axis that distinguishes campaign tasks appears in the name, so
@@ -263,6 +301,7 @@ def write_artifact(
         "replay_config": dataclasses.asdict(task.replay_config()),
         "failures": list(failures),
         "shrunk_trace": shrunk.to_jsonable() if shrunk is not None else None,
+        "watchdog_dumps": dict(watchdog_dumps) if watchdog_dumps else None,
         "replay_with": (
             "python -c \"from repro.verification.campaign import replay_artifact; "
             f"print(replay_artifact('{path}').failures)\""
@@ -454,6 +493,9 @@ class CampaignResult:
     failures: List[TaskFailure]
     wall_seconds: float
     workers: int
+    #: ServiceSummary.to_jsonable() when the campaign ran through the durable
+    #: job service (verify --service-store); None for pool/serial runs.
+    service: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
@@ -491,6 +533,7 @@ class CampaignResult:
             "wall_seconds": round(self.wall_seconds, 3),
             "workers": self.workers,
             "failures": [failure.to_jsonable() for failure in self.failures],
+            **({"service": self.service} if self.service is not None else {}),
         }
 
 
@@ -530,34 +573,71 @@ def _chunk_tasks(
 
 
 def _run_campaign_tasks(
-    tasks: Sequence[VerificationTask], workers: Optional[int] = None
-) -> Tuple[List[TaskOutcome], int]:
-    """Run every task; returns (outcomes in order, workers actually used).
+    tasks: Sequence[VerificationTask],
+    workers: Optional[int] = None,
+    service=None,
+    task_timeout=None,
+) -> Tuple[List[TaskOutcome], int, Optional[Dict]]:
+    """Run tasks; returns (outcomes in order, workers used, service summary).
 
     ``workers=0`` means "auto" ($REPRO_SWEEP_WORKERS or the CPU count), like
     the sweep executor.  Restricted sandboxes fall back to a serial loop on a
     single reset-reusing runner; results are identical either way.
+
+    ``service`` shards the campaign into the fault-tolerant job service
+    (durable leased work units over a shared store) instead of the ad-hoc
+    pool.  ``task_timeout`` (default $REPRO_TASK_TIMEOUT) bounds each pool
+    task's wall clock: a hung task is cancelled, logged, and retried
+    serially rather than stalling the campaign.
     """
     if workers == 0:
         workers = available_workers()
     workers = 1 if workers is None else max(1, workers)
+    timeout = resolve_task_timeout(task_timeout)
     results: List[Optional[TaskOutcome]] = [None] * len(tasks)
     used_workers = 1
 
+    if service is not None:
+        from ..experiments.service import run_service_campaign
+
+        outcomes, summary = run_service_campaign(
+            tasks, service, workers=None if workers <= 1 else workers
+        )
+        return (  # type: ignore[return-value]
+            list(outcomes), max(1, workers), summary.to_jsonable()
+        )
+
     if workers > 1 and len(tasks) > 1:
         try:
-            from concurrent.futures import ProcessPoolExecutor, as_completed
+            from concurrent.futures import ProcessPoolExecutor
 
             max_workers = min(workers, len(tasks))
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+            abandoned = False
+            try:
                 chunks = _chunk_tasks(tasks, max_workers)
                 futures = {
                     pool.submit(_run_task_chunk, [tasks[i] for i in chunk]): chunk
                     for chunk in chunks
                 }
-                for future in as_completed(futures):
-                    for index, outcome in zip(futures[future], future.result()):
+
+                def on_result(chunk: List[int], future) -> None:
+                    for index, outcome in zip(chunk, future.result()):
                         results[index] = outcome
+
+                timed_out = drain_futures(futures, on_result, timeout)
+                if timed_out:
+                    abandoned = True
+                    hung = sorted(i for chunk in timed_out for i in chunk)
+                    logger.warning(
+                        "%d verification task(s) exceeded the %.1fs task "
+                        "timeout; abandoning their pool tasks and retrying "
+                        "serially",
+                        len(hung),
+                        timeout,
+                    )
+            finally:
+                shutdown_pool(pool, abandoned)
             used_workers = max_workers
         except POOL_FALLBACK_ERRORS:
             # Restricted environments and unpicklable payloads fall back to
@@ -570,14 +650,19 @@ def _run_campaign_tasks(
         for index, task in enumerate(tasks):
             if results[index] is None:
                 results[index] = run_task(task, runner)
-    return results, used_workers  # type: ignore[return-value]
+    return results, used_workers, None  # type: ignore[return-value]
 
 
 def run_campaign_tasks(
-    tasks: Sequence[VerificationTask], workers: Optional[int] = None
+    tasks: Sequence[VerificationTask],
+    workers: Optional[int] = None,
+    service=None,
+    task_timeout=None,
 ) -> List[TaskOutcome]:
     """Run every task — across a process pool when ``workers`` > 1 — in order."""
-    return _run_campaign_tasks(tasks, workers)[0]
+    return _run_campaign_tasks(
+        tasks, workers, service=service, task_timeout=task_timeout
+    )[0]
 
 
 class VerificationCampaign:
@@ -588,15 +673,24 @@ class VerificationCampaign:
         spec: CampaignSpec,
         artifact_dir=None,
         shrink: bool = True,
+        service=None,
+        task_timeout=None,
     ) -> None:
         self.spec = spec
         self.artifact_dir = artifact_dir
         self.shrink = shrink
+        self.service = service
+        self.task_timeout = task_timeout
 
     def run(self, workers: Optional[int] = None) -> CampaignResult:
         started = time.perf_counter()
         tasks = self.spec.tasks()
-        outcomes, resolved_workers = _run_campaign_tasks(tasks, workers)
+        outcomes, resolved_workers, service_summary = _run_campaign_tasks(
+            tasks,
+            workers,
+            service=self.service,
+            task_timeout=self.task_timeout,
+        )
         failures: List[TaskFailure] = []
         runner = BatchRunner()
         for outcome in outcomes:
@@ -620,6 +714,7 @@ class VerificationCampaign:
                         outcome.task,
                         outcome.failures,
                         failure.shrunk_trace,
+                        watchdog_dumps=outcome.watchdog_dumps,
                     )
                 )
             failures.append(failure)
@@ -629,6 +724,7 @@ class VerificationCampaign:
             failures=failures,
             wall_seconds=time.perf_counter() - started,
             workers=resolved_workers,
+            service=service_summary,
         )
 
 
@@ -639,6 +735,8 @@ def run_campaign(
     seeds: Optional[Sequence[int]] = None,
     artifact_dir=None,
     shrink: bool = True,
+    service=None,
+    task_timeout=None,
 ) -> CampaignResult:
     """Run a named (or explicit) campaign spec and return its result."""
     if isinstance(campaign, CampaignSpec):
@@ -653,5 +751,9 @@ def run_campaign(
     if protocols is not None or seeds is not None:
         spec = spec.with_overrides(protocols=protocols, seeds=seeds)
     return VerificationCampaign(
-        spec, artifact_dir=artifact_dir, shrink=shrink
+        spec,
+        artifact_dir=artifact_dir,
+        shrink=shrink,
+        service=service,
+        task_timeout=task_timeout,
     ).run(workers=workers)

@@ -54,7 +54,12 @@ from ..system.multiprocessor import MultiprocessorSystem
 from ..workloads.base import MemoryOperation
 from ..workloads.trace import TraceWorkload
 from .consistency import ConsistencyChecker
-from .invariants import InvariantMonitor, InvariantReport, check_invariants
+from .invariants import (
+    InvariantMonitor,
+    InvariantReport,
+    check_invariants,
+    deadlock_dump,
+)
 
 #: Trace operation kinds.
 READ = "read"
@@ -623,24 +628,22 @@ class TraceReplayer:
 
     def _failure_dump(self) -> Dict:
         """Structured description of a stalled replay (deadlock/livelock)."""
-        system = self.system
-        return {
-            "cycle": self._now(),
-            "protocol": str(system.config.protocol),
-            "operations": len(self.trace.ops),
-            "completed": self.completed,
-            "next_op_per_node": {
-                node: (
-                    None
-                    if self._node_position[node] >= len(self._streams[node])
-                    else self._streams[node][self._node_position[node]][0]
-                )
-                for node in range(self.trace.num_processors)
+        return deadlock_dump(
+            self.system,
+            completed=self.completed,
+            operations=len(self.trace.ops),
+            extra={
+                "next_op_per_node": {
+                    node: (
+                        None
+                        if self._node_position[node] >= len(self._streams[node])
+                        else self._streams[node][self._node_position[node]][0]
+                    )
+                    for node in range(self.trace.num_processors)
+                },
+                "recent_events": list(self._recent_events),
             },
-            "outstanding": [repr(t) for t in system.outstanding_transactions()],
-            "pending_events": system.simulator.scheduler.pending,
-            "recent_events": list(self._recent_events),
-        }
+        )
 
     # ---------------------------------------------------------------------- run
 

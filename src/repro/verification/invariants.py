@@ -333,3 +333,34 @@ class InvariantMonitor:
             return
         for violation in check_settled_block(self.system, address):
             self._record(violation)
+
+
+# ---------------------------------------------------------------- hang evidence
+
+
+def deadlock_dump(
+    system: MultiprocessorSystem,
+    *,
+    completed: int,
+    operations: int,
+    extra: Optional[Dict] = None,
+) -> Dict:
+    """JSON-safe snapshot of a stalled system (deadlock/livelock evidence).
+
+    Both the differential watchdog and the campaign service use this to
+    persist what the system looked like the moment forward progress stopped,
+    so hangs caught in short-lived workers survive as replayable artifacts.
+    ``extra`` merges caller-specific context (per-node cursors, recent
+    events) into the dump; every value must already be JSON-serialisable.
+    """
+    dump: Dict = {
+        "cycle": system.simulator.scheduler.now,
+        "protocol": str(system.config.protocol),
+        "operations": operations,
+        "completed": completed,
+        "outstanding": [repr(t) for t in system.outstanding_transactions()],
+        "pending_events": system.simulator.scheduler.pending,
+    }
+    if extra:
+        dump.update(extra)
+    return dump

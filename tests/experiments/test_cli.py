@@ -204,3 +204,106 @@ class TestModuleEntryPoint:
         )
         assert result.returncode == 0, result.stderr
         assert "figure1" in result.stdout
+
+
+class TestServe:
+    def test_serve_runs_a_sweep_through_the_service(self, capsys, tmp_path):
+        store = tmp_path / "units"
+        assert main(
+            [
+                "serve", "figure1",
+                "--store", str(store),
+                "--axis", "bandwidth=800,3200",
+                "--json", "-",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["completed"] == payload["units"] == 6
+        assert payload["summary"]["done"] == 6
+        assert (store / "journal.jsonl").exists()
+
+    def test_serve_chaos_run_redispatches_and_completes(self, capsys, tmp_path):
+        assert main(
+            [
+                "serve", "figure1",
+                "--store", str(tmp_path / "units"),
+                "--axis", "bandwidth=800,3200",
+                "--fault-plan", "kill-after:3",
+                "--json", "-",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["summary"]["worker_deaths"] >= 1
+        assert payload["summary"]["redispatched"] >= 1
+
+    def test_serve_resumes_without_recomputation(self, capsys, tmp_path):
+        store = tmp_path / "units"
+        args = [
+            "serve", "figure1",
+            "--store", str(store),
+            "--axis", "bandwidth=800",
+            "--json", "-",
+        ]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["summary"]["resumed"] == 0
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["summary"]["resumed"] == second["units"]
+
+    def test_serve_rejects_non_sweep_scenarios(self, capsys, tmp_path):
+        assert main(
+            ["serve", "figure3", "--store", str(tmp_path / "units")]
+        ) == 2
+        assert "not a sweep" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_fault_plan(self, capsys, tmp_path):
+        assert main(
+            [
+                "serve", "figure1",
+                "--store", str(tmp_path / "units"),
+                "--fault-plan", "explode",
+            ]
+        ) == 2
+        assert "fault-plan" in capsys.readouterr().err.lower()
+
+
+class TestWorker:
+    def test_worker_drains_a_prepared_store(self, capsys, tmp_path):
+        from repro.experiments.jobstore import JobStore
+        from repro.experiments.scenario import get_scenario
+        from repro.experiments.service import unit_for_spec
+
+        store = JobStore(tmp_path / "units")
+        grid = get_scenario("figure1").grid("quick", axes={"bandwidth": (800.0,)})
+        for spec in grid.specs():
+            store.enqueue(unit_for_spec(spec))
+        assert main(["worker", "--store", str(store.root)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["completed"] == 3
+        assert store.finished()
+
+
+class TestVerifyService:
+    def test_verify_through_the_service_store(self, capsys, tmp_path):
+        assert main(
+            [
+                "verify", "--campaign", "quick",
+                "--protocol", "bash",
+                "--seed-range", "0:2",
+                "--service-store", str(tmp_path / "units"),
+                "--fault-plan", "kill-after:2",
+                "--json", "-",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["service"]["worker_deaths"] >= 1
+
+    def test_fault_plan_without_service_store_fails_cleanly(self, capsys):
+        assert main(
+            ["verify", "--campaign", "quick", "--fault-plan", "kill-after:1"]
+        ) == 2
+        assert "--service-store" in capsys.readouterr().err

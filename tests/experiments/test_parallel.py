@@ -3,14 +3,18 @@
 from __future__ import annotations
 
 import dataclasses
+import os
+import time
 
 import pytest
 
 from repro.common.config import ProtocolName
 from repro.experiments.parallel import (
+    TASK_TIMEOUT_ENV,
     PointSpec,
     SweepCache,
     available_workers,
+    resolve_task_timeout,
     run_sweep,
     sweep_curves,
 )
@@ -220,3 +224,64 @@ class TestCacheEnvDefault:
         monkeypatch.delenv("REPRO_SWEEP_CACHE")
         # True with no env default degrades to "no cache", not a crash.
         run_sweep(_specs(protocols=(ProtocolName.SNOOPING,))[:1], cache_dir=True)
+
+
+# --------------------------------------------------------------- robustness
+
+_PARENT_PID = os.getpid()
+
+
+def _hang_in_child(specs_chunk):
+    """Pool chunk runner that wedges only inside a pool worker process."""
+    if os.getpid() != _PARENT_PID:
+        time.sleep(600)  # terminated by shutdown_pool, never finishes
+    from repro.experiments.parallel import _run_chunk
+
+    return _run_chunk(specs_chunk)
+
+
+class TestTaskTimeout:
+    def test_timeout_resolution_argument_env_and_disable(self, monkeypatch):
+        monkeypatch.delenv(TASK_TIMEOUT_ENV, raising=False)
+        assert resolve_task_timeout(None) is None
+        assert resolve_task_timeout(5) == 5.0
+        assert resolve_task_timeout(False) is None
+        monkeypatch.setenv(TASK_TIMEOUT_ENV, "2.5")
+        assert resolve_task_timeout(None) == 2.5
+        assert resolve_task_timeout(10) == 10.0
+        assert resolve_task_timeout(False) is None  # False beats the env
+        monkeypatch.setenv(TASK_TIMEOUT_ENV, "garbage")
+        assert resolve_task_timeout(None) is None
+        monkeypatch.setenv(TASK_TIMEOUT_ENV, "0")
+        assert resolve_task_timeout(None) is None
+
+    def test_hung_pool_task_is_cancelled_and_retried_serially(
+        self, monkeypatch, caplog
+    ):
+        import logging
+
+        import repro.experiments.parallel as parallel_module
+
+        specs = _specs(protocols=(ProtocolName.SNOOPING,))
+        expected = run_sweep(specs, workers=1)
+        monkeypatch.setattr(parallel_module, "_run_chunk", _hang_in_child)
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.parallel"):
+            points = run_sweep(specs, workers=2, task_timeout=0.5)
+        assert [_key(p) for p in points] == [_key(p) for p in expected]
+        assert any("task timeout" in record.message for record in caplog.records)
+
+
+class TestCacheQuarantine:
+    def test_corrupt_entry_is_renamed_not_left_in_place(self, tmp_path):
+        specs = _specs(protocols=(ProtocolName.SNOOPING,))[:1]
+        first = run_sweep(specs, cache_dir=tmp_path)
+        entry = tmp_path / f"{specs[0].cache_key()}.json"
+        entry.write_text('{"torn":')
+        again = run_sweep(specs, cache_dir=tmp_path)
+        assert [_key(p) for p in again] == [_key(p) for p in first]
+        quarantined = tmp_path / f"{specs[0].cache_key()}.json.corrupt"
+        assert quarantined.exists(), "corrupt cache entry was not quarantined"
+        # The recomputed point was re-memoised over the old key.
+        assert entry.exists()
+        third = run_sweep(specs, cache_dir=tmp_path)
+        assert [_key(p) for p in third] == [_key(p) for p in first]

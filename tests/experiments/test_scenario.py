@@ -343,10 +343,13 @@ class TestFigureDriverPlumbing:
         captured = {}
         original = study.run_sweep
 
-        def spy(specs, workers=None, cache_dir=None, batch=True):
+        def spy(specs, workers=None, cache_dir=None, batch=True, service=None):
             captured["workers"] = workers
             captured["cache_dir"] = cache_dir
-            return original(specs, workers=None, cache_dir=cache_dir, batch=batch)
+            return original(
+                specs, workers=None, cache_dir=cache_dir, batch=batch,
+                service=service,
+            )
 
         monkeypatch.setattr(study, "run_sweep", spy)
         figures.figure5_normalized_performance(

@@ -188,3 +188,96 @@ class TestShrinking:
             for task in (first, second)
         }
         assert len(paths) == 2
+
+
+# ------------------------------------------------------- robustness / service
+
+import os as _os
+import time as _time
+
+_PARENT_PID = _os.getpid()
+
+
+def _hang_chunk_in_child(tasks):
+    """Chunk runner that wedges only inside a pool worker process."""
+    if _os.getpid() != _PARENT_PID:
+        _time.sleep(600)
+    from repro.verification.campaign import _run_task_chunk
+
+    return _run_task_chunk(tasks)
+
+
+class TestTaskTimeout:
+    def test_hung_task_is_cancelled_and_retried_serially(self, monkeypatch):
+        import repro.verification.campaign as campaign_module
+
+        tasks = TINY.tasks()
+        serial = run_campaign_tasks(tasks, workers=1)
+        monkeypatch.setattr(
+            campaign_module, "_run_task_chunk", _hang_chunk_in_child
+        )
+        rescued = run_campaign_tasks(tasks, workers=2, task_timeout=0.5)
+        assert [o.to_jsonable() for o in serial] == [
+            o.to_jsonable() for o in rescued
+        ]
+
+
+class TestServiceCampaign:
+    def test_service_outcomes_match_serial_field_for_field(self, tmp_path):
+        from repro.experiments.service import FaultPlan, ServiceConfig
+
+        serial = run_campaign(TINY)
+        chaotic = run_campaign(
+            TINY,
+            service=ServiceConfig(
+                store=tmp_path / "store", fault_plan=FaultPlan(kill_after=1)
+            ),
+        )
+        assert [o.to_jsonable() for o in serial.outcomes] == [
+            o.to_jsonable() for o in chaotic.outcomes
+        ]
+        assert chaotic.service is not None
+        assert chaotic.service["worker_deaths"] >= 1
+        assert chaotic.to_jsonable()["service"]["ok"] is True
+        # Pool/serial runs report no service block at all.
+        assert "service" not in serial.to_jsonable()
+
+
+class TestWatchdogEvidence:
+    def test_task_outcome_round_trips_through_jsonable(self):
+        task = VerificationTask(kind="differential", seed=0, operations=30)
+        outcome = run_task(task, BatchRunner())
+        outcome.watchdog_dumps = {"bash": {"cycle": 9, "completed": 3}}
+        clone = type(outcome).from_jsonable(outcome.to_jsonable())
+        assert clone.to_jsonable() == outcome.to_jsonable()
+
+    def test_write_artifact_embeds_watchdog_dumps(self, tmp_path):
+        task = VerificationTask(kind="differential", seed=1, operations=30)
+        dumps = {"bash": {"cycle": 120, "completed": 7, "operations": 30}}
+        path = write_artifact(tmp_path, task, ["hang"], None, watchdog_dumps=dumps)
+        payload = json.loads(path.read_text())
+        assert payload["watchdog_dumps"] == dumps
+        # Absent dumps serialise as None, keeping the artifact format stable.
+        bare = write_artifact(
+            tmp_path, VerificationTask(kind="differential", seed=2), ["x"], None
+        )
+        assert json.loads(bare.read_text())["watchdog_dumps"] is None
+
+    def test_deadlock_dump_is_json_safe(self, small_config):
+        from repro.common.config import ProtocolName
+        from repro.system.multiprocessor import MultiprocessorSystem
+        from repro.verification.differential import empty_trace_workload
+        from repro.verification.invariants import deadlock_dump
+
+        system = MultiprocessorSystem(
+            small_config(ProtocolName.BASH), empty_trace_workload(4)
+        )
+        dump = deadlock_dump(
+            system, completed=3, operations=10, extra={"recent_events": []}
+        )
+        encoded = json.loads(json.dumps(dump))
+        assert encoded["protocol"] == "bash"
+        assert encoded["completed"] == 3
+        assert encoded["operations"] == 10
+        assert encoded["recent_events"] == []
+        assert isinstance(encoded["pending_events"], int)

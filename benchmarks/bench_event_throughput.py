@@ -337,6 +337,85 @@ def measure_handler_time_fraction() -> Dict:
     return section
 
 
+#: The request-issue chain the compiled ``SequencerStep`` absorbs: every frame
+#: of the sequencer itself, plus (by function name, anywhere in the repro
+#: tree) the issue/send helpers it drives — request issue, message build,
+#: arena allocation and network injection.  The name-matched ``send`` /
+#: ``message`` frames also carry protocol-reply traffic, so the pure-backend
+#: number slightly overstates the slice; under the compiled backend those
+#: shared frames already run in C, which is the point of tracking the drop.
+ISSUE_CHAIN_FILE_MARKERS = ("/repro/system/sequencer.py",)
+ISSUE_CHAIN_FUNCTIONS = frozenset(
+    {
+        "issue_request",
+        "issue_writeback",
+        "_send_request",
+        "_send_writeback",
+        "_build_request_message",
+        "_request_recipients",
+        "_writeback_recipients",
+        "send",
+        "message",
+        "transaction",
+        "next_operation",
+    }
+)
+
+
+def _issue_time(profiler) -> Dict[str, float]:
+    """Issue-chain tottime, total tottime, and their ratio, from a profile.
+
+    Same accounting as :func:`_handler_time`, over the request-issue frames:
+    everything in the sequencer module, plus the issue/send helpers matched
+    by name within the repro tree.
+    """
+    import pstats
+
+    total = 0.0
+    issue = 0.0
+    for (filename, _line, name), row in pstats.Stats(profiler).stats.items():
+        tottime = row[2]
+        total += tottime
+        normalized = filename.replace("\\", "/")
+        if "/repro/" not in normalized:
+            continue
+        if any(marker in normalized for marker in ISSUE_CHAIN_FILE_MARKERS):
+            issue += tottime
+        elif name in ISSUE_CHAIN_FUNCTIONS:
+            issue += tottime
+    return {
+        "seconds": round(issue, 4),
+        "total_seconds": round(total, 4),
+        "fraction": round(issue / total, 3) if total else 0.0,
+    }
+
+
+def measure_issue_time_fraction() -> Dict:
+    """Per-protocol, per-backend share of run time in the request-issue chain.
+
+    Mirrors :func:`measure_handler_time_fraction` for the other half of the
+    per-reference path: the sequencer step, request issue, message build and
+    network injection.  Under the compiled backend the ``SequencerStep``
+    object runs this chain without Python frames, so the drop in ``seconds``
+    from pure to compiled is the issue work the extension absorbed.
+    """
+    import cProfile
+
+    section: Dict[str, Dict] = {}
+    for name in BACKEND_PAIR:
+        with _backend(name):
+            per: Dict[str, Dict[str, float]] = {}
+            for protocol in PROTOCOL_LIST:
+                system = _build_system(protocol, 16)
+                profiler = cProfile.Profile()
+                profiler.enable()
+                system.run()
+                profiler.disable()
+                per[str(protocol)] = _issue_time(profiler)
+            section[name] = per
+    return section
+
+
 def measure_compiled_section(repeats: int = 3) -> Dict:
     """The full ``compiled`` record for BENCH_core.json (requires the ext)."""
     with _backend(_core.COMPILED):
@@ -347,14 +426,16 @@ def measure_compiled_section(repeats: int = 3) -> Dict:
         "event_throughput": measure_event_throughput_ab(repeats=repeats),
         "event_core": measure_event_core_ab(repeats=repeats),
         "handler_time_fraction": measure_handler_time_fraction(),
+        "issue_time_fraction": measure_issue_time_fraction(),
         "note": (
             "end-to-end throughput is bounded by the Python around the "
             "protocol handlers (sequencer, workload, message construction); "
             "handler_time_fraction shows the handler-layer share per backend "
-            "-- the compiled delivery objects absorb most of it -- and "
-            "event_core isolates the engine itself, where the compiled "
-            "backend is the one doing 5M+ events/sec on bucket-parallel "
-            "traffic"
+            "-- the compiled delivery objects absorb most of it -- "
+            "issue_time_fraction shows the request-issue share the compiled "
+            "SequencerStep absorbs, and event_core isolates the engine "
+            "itself, where the compiled backend is the one doing 5M+ "
+            "events/sec on bucket-parallel traffic"
         ),
     }
 
@@ -785,16 +866,27 @@ def main(argv=None) -> int:
                 stack.enter_context(_backend(single))
             profile_hot_loop(output=args.profile_output)
         if backend == "both":
-            # Refresh the per-protocol handler-layer share alongside the
-            # printed report, so a profiling session also updates the
-            # number the A/B section is interpreted against.
-            section = measure_handler_time_fraction()
+            # Refresh the per-protocol handler-layer and issue-chain shares
+            # alongside the printed report, so a profiling session also
+            # updates the numbers the A/B section is interpreted against.
+            handler_section = measure_handler_time_fraction()
+            issue_section = measure_issue_time_fraction()
             record = (
                 json.loads(args.output.read_text()) if args.output.exists() else {}
             )
-            record.setdefault("compiled", {})["handler_time_fraction"] = section
+            compiled = record.setdefault("compiled", {})
+            compiled["handler_time_fraction"] = handler_section
+            compiled["issue_time_fraction"] = issue_section
             args.output.write_text(json.dumps(record, indent=2) + "\n")
-            print(json.dumps({"handler_time_fraction": section}, indent=2))
+            print(
+                json.dumps(
+                    {
+                        "handler_time_fraction": handler_section,
+                        "issue_time_fraction": issue_section,
+                    },
+                    indent=2,
+                )
+            )
         return 0
 
     if args.smoke or args.smoke_sweep:

@@ -258,6 +258,17 @@ def handlers_available() -> bool:
     return _ext is not None and hasattr(_ext, "SnoopDeliver")
 
 
+def issue_available() -> bool:
+    """True when the loaded extension carries the compiled issue chain.
+
+    Same shape as :func:`handlers_available`: an ``.so`` built before the
+    request-issue fast path existed provides the event core (and possibly
+    the handler layer) but not the ``SequencerStep`` object.  Does not
+    attempt the import itself.
+    """
+    return _ext is not None and hasattr(_ext, "SequencerStep")
+
+
 def accelerator_for(scheduler):
     """The extension module when ``scheduler`` is a compiled instance.
 
@@ -281,9 +292,11 @@ def backend_info() -> Dict[str, object]:
     if _active == COMPILED:
         event_core = COMPILED
         handlers = COMPILED if handlers_available() else "unavailable"
+        issue_chain = COMPILED if issue_available() else "unavailable"
     else:
         event_core = PURE
         handlers = PURE
+        issue_chain = PURE
     return {
         "name": _active,
         "requested": _requested,
@@ -292,6 +305,10 @@ def backend_info() -> Dict[str, object]:
         "compiled_loaded": ext is not None,
         "compiled_version": version,
         "compiled_import_error": _import_error,
-        "components": {"event_core": event_core, "handlers": handlers},
+        "components": {
+            "event_core": event_core,
+            "handlers": handlers,
+            "issue_chain": issue_chain,
+        },
         "handler_selections": handler_selections(),
     }

@@ -24,7 +24,7 @@
 
 #include "_core.h"
 
-#define CORE_VERSION "1.1.0"
+#define CORE_VERSION "1.2.0"
 
 /* Compaction threshold; mirrors _COMPACT_MIN_CANCELLED in scheduler.py. */
 #define COMPACT_MIN_CANCELLED 64
@@ -381,6 +381,33 @@ push_fast(SchedulerObject *self, PyObject *time_obj, PyObject *callback,
         return -1;
     int rc = push_entry(self, time_obj, entry);
     Py_DECREF(entry);
+    return rc;
+}
+
+/* Event-core services for the sibling translation units (_issue.c): type
+ * test, current time, and the fast-path push with a boxed time. */
+int
+core_scheduler_check(PyObject *op)
+{
+    return Scheduler_CheckExactBase(op);
+}
+
+long long
+core_scheduler_now(PyObject *scheduler)
+{
+    return ((SchedulerObject *)scheduler)->now;
+}
+
+int
+core_push_fast(PyObject *scheduler, long long time, PyObject *callback,
+               PyObject *label, PyObject *arg)
+{
+    PyObject *time_obj = PyLong_FromLongLong(time);
+    if (time_obj == NULL)
+        return -1;
+    int rc = push_fast((SchedulerObject *)scheduler, time_obj, callback,
+                       label, arg);
+    Py_DECREF(time_obj);
     return rc;
 }
 
@@ -1660,7 +1687,7 @@ PyInit__cext(void)
         PyModule_AddObjectRef(module, "LinkPush",
                               (PyObject *)&LinkPush_Type) < 0 ||
         PyModule_AddObjectRef(module, "Relay", (PyObject *)&Relay_Type) < 0 ||
-        chandlers_add_types(module) < 0) {
+        chandlers_add_types(module) < 0 || issue_add_types(module) < 0) {
         Py_DECREF(module);
         return NULL;
     }

@@ -833,6 +833,7 @@ typedef struct {
     PyObject *dir_entries;    /* directory._entries (dict), or NULL */
     PyObject *dir_lookup;     /* bound DirectoryStore.lookup, or NULL */
     PyObject *completer;      /* DataDeliver for upgrade-at-marker, or NULL */
+    PyObject *mem_serve;      /* MemServe C data serve (_issue.c), or NULL */
 } SnoopDeliverObject;
 
 static int
@@ -843,7 +844,7 @@ SnoopDeliver_init(SnoopDeliverObject *self, PyObject *args, PyObject *kwds)
     PyObject *home_filter = Py_None, *is_home_for = Py_None;
     PyObject *mem_handler = Py_None, *mem_controller = Py_None;
     PyObject *dir_entries = Py_None, *dir_lookup = Py_None;
-    PyObject *completer = Py_None;
+    PyObject *completer = Py_None, *mem_serve = Py_None;
     long long node_id, block_bytes = 0, num_procs = 0;
     int bash, mem_mode, mem_bash = 0, home_inline = 0;
     static char *kwlist[] = {
@@ -853,18 +854,22 @@ SnoopDeliver_init(SnoopDeliverObject *self, PyObject *args, PyObject *kwds)
         "mem_mode",      "mem_bash",     "home_filter", "is_home_for",
         "mem_handler",   "mem_controller", "dir_entries", "dir_lookup",
         "home_inline",   "block_bytes",  "num_procs",  "completer",
-        NULL};
+        "mem_serve",     NULL};
     if (!PyArg_ParseTupleAndKeywords(
-            args, kwds, "OLiOOOOOOOi|iOOOOOOiLLO", kwlist, &kind, &node_id,
+            args, kwds, "OLiOOOOOOOi|iOOOOOOiLLOO", kwlist, &kind, &node_id,
             &bash, &controller, &transactions, &blocks, &blocks_lookup,
             &handle_other, &finish_getm, &own_sufficient, &mem_mode,
             &mem_bash, &home_filter, &is_home_for, &mem_handler,
             &mem_controller, &dir_entries, &dir_lookup, &home_inline,
-            &block_bytes, &num_procs, &completer))
+            &block_bytes, &num_procs, &completer, &mem_serve))
         return -1;
     if (completer != Py_None &&
         !PyObject_TypeCheck(completer, &DataDeliver_Type)) {
         PyErr_SetString(PyExc_TypeError, "completer must be a DataDeliver");
+        return -1;
+    }
+    if (mem_serve != Py_None && !issue_is_memserve(mem_serve)) {
+        PyErr_SetString(PyExc_TypeError, "mem_serve must be a MemServe");
         return -1;
     }
     if (home_inline && (block_bytes <= 0 || num_procs <= 0)) {
@@ -941,6 +946,7 @@ SnoopDeliver_init(SnoopDeliverObject *self, PyObject *args, PyObject *kwds)
     STORE_OPT(dir_entries, dir_entries);
     STORE_OPT(dir_lookup, dir_lookup);
     STORE_OPT(completer, completer);
+    STORE_OPT(mem_serve, mem_serve);
 #undef STORE_OPT
     return 0;
 }
@@ -963,6 +969,7 @@ SnoopDeliver_traverse(SnoopDeliverObject *self, visitproc visit, void *arg)
     Py_VISIT(self->dir_entries);
     Py_VISIT(self->dir_lookup);
     Py_VISIT(self->completer);
+    Py_VISIT(self->mem_serve);
     return 0;
 }
 
@@ -984,6 +991,7 @@ SnoopDeliver_clear(SnoopDeliverObject *self)
     Py_CLEAR(self->dir_entries);
     Py_CLEAR(self->dir_lookup);
     Py_CLEAR(self->completer);
+    Py_CLEAR(self->mem_serve);
     return 0;
 }
 
@@ -1309,13 +1317,25 @@ home_serve(SnoopDeliverObject *self, PyObject *message, PyObject *address,
             goto done;
         }
     }
-    /* Data-sending branches delegate; pure bookkeeping runs here. */
+    /* Data-sending branches delegate — unless the compiled MemServe entry
+     * (_issue.c) can build and schedule the DATA reply itself, in which
+     * case the directory bookkeeping below still runs in C. */
     if (self->mem_bash ? (is_getm ? owner == MEMORY_OWNER_ID
                                   : (owner == MEMORY_OWNER_ID ||
                                      owner == requester))
                        : owner == MEMORY_OWNER_ID) {
-        rc = call_discard1(self->mem_handler, message);
-        goto done;
+        int served = -1;
+        if (!self->mem_bash && self->mem_serve != NULL)
+            served = issue_mem_serve(self->mem_serve, message, entry,
+                                     is_getm);
+        if (served < 0 && PyErr_Occurred())
+            goto done;
+        if (served != 0) {
+            rc = call_discard1(self->mem_handler, message);
+            goto done;
+        }
+        /* served == 0: DATA reply scheduled; fall through to the grant /
+         * add_sharer bookkeeping the pure _serve_request does next. */
     }
     if (is_getm) {
         /* entry.grant_exclusive(requester) */

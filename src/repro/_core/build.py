@@ -26,10 +26,10 @@ import sysconfig
 from pathlib import Path
 
 HERE = Path(__file__).resolve().parent
-# Both translation units link into the single _cext extension module;
+# All translation units link into the single _cext extension module;
 # _core.h is the shared header, included in the staleness inputs so editing
 # it triggers a rebuild too.
-SOURCES = (HERE / "_cext.c", HERE / "_chandlers.c")
+SOURCES = (HERE / "_cext.c", HERE / "_chandlers.c", HERE / "_issue.c")
 HEADERS = (HERE / "_core.h",)
 
 

@@ -355,7 +355,7 @@ def _command_backend(args) -> int:
     else:
         print("compiled: not imported (pure backend forced)")
     for component, status in sorted(info["components"].items()):
-        print(f"  {component + ':':<12}{status}")
+        print(f"  {component + ':':<13}{status}")
     selections = info["handler_selections"]
     if selections:
         # Populated per handler as systems compile their dispatch tables in

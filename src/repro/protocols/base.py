@@ -32,7 +32,7 @@ from ..interconnect.message import DestinationUnit, Message, MessageType
 from ..interconnect.network import Interconnect
 from ..sim.component import Component
 from ..sim.scheduler import Scheduler
-from .dispatch import HandlerTable, compile_handlers, reject
+from .dispatch import HandlerTable, compile_handlers, pristine_snapshot, reject
 
 
 class ProtocolController(Component):
@@ -319,6 +319,20 @@ class CacheControllerBase(ProtocolController):
             self._arena.release_transaction(transaction)
 
 
+#: Captured at import: the memoised home lookup the compiled issue chain
+#: mirrors (memo probe in C, bound ``home_of`` call on a miss).
+HOME_OF_PRISTINE = pristine_snapshot(ProtocolController, ("home_of",))
+
+
+#: Captured at import: the issue entry points the compiled SequencerStep
+#: (repro._core._issue.c) runs in C — transaction allocation, MSHR insert,
+#: request counters and the protocol ``_send_*`` dispatch.  A class-level
+#: patch to any of these keeps the pure per-reference step.
+ISSUE_PRISTINE = pristine_snapshot(
+    CacheControllerBase, ("issue_request", "issue_writeback", "has_outstanding")
+)
+
+
 class MemoryControllerBase(ProtocolController):
     """Common memory-side behaviour: directory store and data responses."""
 
@@ -407,3 +421,9 @@ class MemoryControllerBase(ProtocolController):
             message,
             self.full_label(f"control-{msg_type}"),
         )
+
+
+#: Captured at import: the memory-side data response the compiled MemServe
+#: entry (repro._core._issue.c) mirrors — message build, ``data_responses``
+#: count and the DRAM-delayed unordered send.
+MEM_DATA_PRISTINE = pristine_snapshot(MemoryControllerBase, ("_send_data",))

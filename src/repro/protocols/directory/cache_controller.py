@@ -370,3 +370,70 @@ DATA_INLINED_PRISTINE = pristine_snapshot(
     DirectoryCacheController,
     ("_handle_data", "_finish_gets", "_service_deferred", "_complete"),
 )
+
+#: Captured at import: the unicast send pair the compiled issue chain (send
+#: mode 2) runs entirely in C — the expects-data downgrade, home routing,
+#: pooled message build, unicast count and the unordered network's injection.
+SEND_PRISTINE = pristine_snapshot(
+    DirectoryCacheController,
+    ("_send_request", "_send_writeback"),
+)
+
+
+def compile_issue_send(cache, ext):
+    """``(send_mode, kwargs)`` inlining the unicast send into C, or None.
+
+    Mode 2 replicates :meth:`DirectoryCacheController._send_request` /
+    ``_send_writeback`` + :meth:`UnorderedNetwork.send` for the exact stock
+    shapes only: pristine send pair, stock unordered network with compiled
+    injection entries, the memoised block-interleaved home map, and a stock
+    endpoint link.  Any other shape returns None and the issue chain falls
+    back to send mode 0 — C bookkeeping around the bound Python ``_send_*``
+    methods, faithful by construction.
+    """
+    from ...common.config import SystemConfig  # noqa: PLC0415
+    from ...interconnect.link import EndpointLink  # noqa: PLC0415
+    from ...interconnect.unordered_network import UnorderedNetwork  # noqa: PLC0415
+    from ..base import HOME_OF_PRISTINE, ProtocolController  # noqa: PLC0415
+    from ..dispatch import LINK_PRISTINE, NET_SEND_PRISTINE  # noqa: PLC0415
+    from ..snooping.cache_controller import HOME_PRISTINE  # noqa: PLC0415
+
+    net = cache.interconnect.unordered
+    if type(net) is not UnorderedNetwork:
+        return None
+    send = cache._unordered_send
+    if (
+        getattr(send, "__self__", None) is not net
+        or send.__func__ is not UnorderedNetwork.send
+    ):
+        return None
+    if not is_pristine(
+        SEND_PRISTINE, LINK_PRISTINE, NET_SEND_PRISTINE, HOME_PRISTINE, HOME_OF_PRISTINE
+    ):
+        return None
+    if "home_of" in vars(cache) or type(cache).home_of is not ProtocolController.home_of:
+        return None
+    if net._accel is not ext or type(cache.config) is not SystemConfig:
+        return None
+    pair = net.links.get(cache.node_id)
+    if pair is None or type(pair.outgoing) is not EndpointLink:
+        return None
+    extra = {
+        "net_messages": net._messages_counter,
+        "ctr_unicast": cache._ctr_unicast_requests,
+        "home_memo": cache._home_memo,
+        "home_of": cache.home_of,
+        "data_bytes": cache.config.data_message_bytes,
+        "request_bytes": cache._request_bytes,
+    }
+    for key, kind in (
+        ("push_gets", MessageType.GETS),
+        ("push_getm", MessageType.GETM),
+        ("push_putm", MessageType.PUTM),
+    ):
+        entry = net._inject_entries.get(kind)
+        if entry is None:
+            entry = net._compile_injection(kind)
+        inject_label, relay = entry
+        extra[key] = ext.LinkPush(net.scheduler, pair.outgoing, relay, inject_label)
+    return 2, extra

@@ -29,11 +29,17 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Mapping, NoReturn
 
+import inspect
+
 from ..coherence.block import CacheBlock
+from ..coherence.cache_state import CacheBlockStore
 from ..coherence.directory import DirectoryEntry
 from ..coherence.transaction import Transaction
 from ..errors import ProtocolError
-from ..interconnect.message import Message, MessageType
+from ..interconnect.link import EndpointLink
+from ..interconnect.message import DestinationUnit, Message, MessageType
+from ..interconnect.ordered_network import TotallyOrderedNetwork
+from ..interconnect.unordered_network import UnorderedNetwork
 from ..sim.arena import SimulationArena
 
 #: A compiled dispatch table: message type -> bound handler.
@@ -79,6 +85,40 @@ DIR_ENTRY_PRISTINE = pristine_snapshot(
 ARENA_PRISTINE = pristine_snapshot(
     SimulationArena, ("release_transaction", "release_message")
 )
+
+#: The arena *allocation* hooks the compiled issue chain replaces with C-side
+#: free-list pops (field-for-field identical to the recycled ``__init__``).
+ARENA_ALLOC_PRISTINE = pristine_snapshot(
+    SimulationArena, ("message", "transaction")
+)
+
+#: The block-store probes the compiled SequencerStep inlines (hit test,
+#: fullness, LRU candidate scan, drop).
+STORE_PRISTINE = pristine_snapshot(
+    CacheBlockStore, ("get", "is_full", "eviction_candidate", "drop")
+)
+
+#: The endpoint-link transmit pipeline the C ``LinkPush`` injection objects
+#: inline when the issue chain sends inline (modes 1 and 2).
+LINK_PRISTINE = pristine_snapshot(
+    EndpointLink, ("transmit", "occupancy_cycles")
+)
+
+
+#: The network injection halves the compiled issue chain inlines (modes 1 and
+#: 2 run the ``send`` front half — recipients, counters, transmit, push — in
+#: C).  A class-level patch to either ``send`` keeps the pure issue path.
+NET_SEND_PRISTINE = pristine_snapshot(
+    TotallyOrderedNetwork, ("send",)
+) + pristine_snapshot(UnorderedNetwork, ("send", "_compile_injection"))
+
+#: ``Message.__init__``'s default recipients frozenset — a singleton shared by
+#: every message built without an explicit recipient set.  The C message
+#: builder receives it via ``_init_issue`` so recycled messages carry the very
+#: same object a pure construction would.
+_EMPTY_RECIPIENTS = inspect.signature(Message.__init__).parameters[
+    "recipients"
+].default
 
 
 def compile_handlers(
@@ -165,3 +205,256 @@ def rejecter(controller: object, network: str) -> Callable[[Message], None]:
         reject(controller, network, message)
 
     return reject_delivery
+
+
+# --------------------------------------------------------------- issue chain
+
+
+def inject_issue_singletons(ext) -> None:
+    """Inject the identity-compared singletons into the issue-chain C layer.
+
+    Idempotent; must run before any ``SequencerStep`` or ``MemServe`` object
+    is constructed (the C side refuses to build them otherwise, so a missed
+    call fails loudly rather than misbehaving).
+    """
+    from ..coherence.state import MOSIState  # noqa: PLC0415
+
+    ext._init_issue(
+        MessageType.GETS,
+        MessageType.GETM,
+        MessageType.PUTM,
+        MessageType.DATA,
+        MOSIState.MODIFIED,
+        MOSIState.OWNED,
+        MOSIState.SHARED,
+        MOSIState.INVALID,
+        DestinationUnit.CACHE,
+        DestinationUnit.MEMORY,
+        _EMPTY_RECIPIENTS,
+    )
+
+
+def issue_accelerator(sequencer):
+    """The extension module when the compiled issue chain applies, else None.
+
+    Mirrors :func:`handler_accelerator`: keyed off the sequencer's scheduler
+    *instance*, requires the extension to carry the issue layer (an ``.so``
+    built before ``SequencerStep`` existed provides only the earlier
+    components), and injects the singletons the C side compares by identity.
+    """
+    from .. import _core  # noqa: PLC0415 - layer order: dispatch sits above
+
+    scheduler = getattr(sequencer, "scheduler", None)
+    if scheduler is None:
+        return None
+    ext = _core.accelerator_for(scheduler)
+    if ext is None or not hasattr(ext, "SequencerStep"):
+        return None
+    inject_issue_singletons(ext)
+    return ext
+
+
+def note_issue_selection(sequencer, status: str) -> None:
+    """Record one per-node issue-chain compile/decline decision."""
+    from .. import _core  # noqa: PLC0415
+
+    _core.note_handler_selection(f"Sequencer{sequencer.node_id}.step", status)
+
+
+#: Methods whose presence in an *instance* dict means the node was
+#: customised by hand (tests monkeypatch bound hooks this way): the compiled
+#: step would bypass the patch, so the pure path stays authoritative.
+_SEQUENCER_LOCAL_HOOKS = (
+    "_perform",
+    "_fetch_next",
+    "_finish_stream",
+    "_complete_hit",
+    "_complete_miss",
+    "_account",
+    "_maybe_evict",
+)
+_CACHE_LOCAL_HOOKS = (
+    "issue_request",
+    "issue_writeback",
+    "_send_request",
+    "_send_writeback",
+)
+
+
+def compile_sequencer_step(sequencer):
+    """A C ``SequencerStep`` fusing the per-reference chain, or None.
+
+    The returned object replaces ``Sequencer._perform`` as the scheduled
+    delivery entry for one node: block probe, hit test, eviction, the
+    GETS/GETM/PUTM issue (transaction allocation, MSHR insert, counters,
+    message build and network injection) and the completion/refetch
+    bookkeeping all run in C.  Selection follows the compiled-handler
+    contract: per node, stock classes with pristine methods only, with the
+    pure implementation remaining the executable specification — any unusual
+    shape (subclass, instance patch, swapped workload entry point, non-stock
+    arena or network) declines to the pure path for that node, recorded via
+    :func:`note_issue_selection`.
+
+    Called from ``Sequencer.start`` once per run, so constants baked into the
+    C object (capacity, block size, message sizes) are re-derived after every
+    reset.
+    """
+    ext = issue_accelerator(sequencer)
+    if ext is None:
+        return None
+    from ..system.sequencer import SEQUENCER_PRISTINE, Sequencer  # noqa: PLC0415
+    from ..workloads.base import Workload  # noqa: PLC0415
+    from .base import ISSUE_PRISTINE, CacheControllerBase  # noqa: PLC0415
+    from .bash.cache_controller import BashCacheController  # noqa: PLC0415
+    from .directory.cache_controller import (  # noqa: PLC0415
+        DirectoryCacheController,
+        compile_issue_send as directory_issue_send,
+    )
+    from .snooping.cache_controller import (  # noqa: PLC0415
+        SnoopingCacheController,
+        compile_issue_send as snooping_issue_send,
+    )
+
+    def decline():
+        note_issue_selection(sequencer, "declined")
+        return None
+
+    if type(sequencer) is not Sequencer:
+        return decline()
+    sequencer_vars = vars(sequencer)
+    if any(name in sequencer_vars for name in _SEQUENCER_LOCAL_HOOKS):
+        return decline()
+    cache = sequencer.cache
+    cache_vars = vars(cache)
+    if any(name in cache_vars for name in _CACHE_LOCAL_HOOKS):
+        return decline()
+    workload = sequencer.workload
+    if "next_operation" in vars(workload) or "on_complete" in vars(workload):
+        return decline()
+    cache_cls = type(cache)
+    if cache_cls not in (
+        SnoopingCacheController,
+        BashCacheController,
+        DirectoryCacheController,
+    ):
+        return decline()
+    if (
+        cache_cls.issue_request is not CacheControllerBase.issue_request
+        or cache_cls.issue_writeback is not CacheControllerBase.issue_writeback
+        or cache_cls.has_outstanding is not CacheControllerBase.has_outstanding
+    ):
+        return decline()
+    if not is_pristine(
+        SEQUENCER_PRISTINE,
+        ISSUE_PRISTINE,
+        STORE_PRISTINE,
+        TRANSACTION_PRISTINE,
+        BLOCK_PRISTINE,
+    ):
+        return decline()
+    scheduler = sequencer.scheduler
+    config = sequencer.config
+    blocks = cache.blocks
+    # The C step reads state through its own prebinds; if the sequencer's
+    # prebound fast paths no longer point at the live containers (a test
+    # rewired them by hand), the pure methods are the only faithful shape.
+    if (
+        sequencer._blocks_get != blocks.get
+        or sequencer._blocks_is_full != blocks.is_full
+        or sequencer._blocks_eviction_candidate != blocks.eviction_candidate
+        or sequencer._blocks_drop != blocks.drop
+        or sequencer._transactions is not cache.transactions
+        or sequencer._writebacks is not cache.writebacks
+        or sequencer._next_operation != workload.next_operation
+        or sequencer._on_complete != workload.on_complete
+        or sequencer._schedule_after_fast1 != scheduler.schedule_after_fast1
+        or sequencer._block_bytes != config.cache_block_bytes
+    ):
+        return decline()
+    block_bytes = sequencer._block_bytes
+    capacity = blocks.capacity_blocks
+    if block_bytes < 1 or capacity < 1:
+        return decline()
+    # Allocation: either the stock arena's free lists (popped C-side) or the
+    # plain constructors; anything else keeps the pure issue path.
+    arena = cache._arena
+    if arena is not None:
+        if type(arena) is not SimulationArena or not is_pristine(
+            ARENA_ALLOC_PRISTINE
+        ):
+            return decline()
+        if (
+            getattr(cache._new_transaction, "__self__", None) is not arena
+            or cache._new_transaction.__func__ is not SimulationArena.transaction
+            or getattr(cache._new_message, "__self__", None) is not arena
+            or cache._new_message.__func__ is not SimulationArena.message
+        ):
+            return decline()
+        txn_pool = arena._transactions
+        msg_pool = arena._messages
+    else:
+        if (
+            cache._new_transaction is not Transaction
+            or cache._new_message is not Message
+        ):
+            return decline()
+        txn_pool = msg_pool = None
+    # Protocol-specific send inlining: mode 1 (snooping broadcast) or mode 2
+    # (directory unicast) when the whole send pipeline is stock, else mode 0
+    # (C bookkeeping, bound Python _send_* call — always faithful).
+    if cache_cls is SnoopingCacheController:
+        send = snooping_issue_send(cache, ext)
+    elif cache_cls is DirectoryCacheController:
+        send = directory_issue_send(cache, ext)
+    else:
+        send = None  # BASH: dualcast policy stays in Python (mode 0)
+    send_mode, extra = send if send is not None else (0, {})
+    # The directory controller prebinds its request size at construction;
+    # its helper supplies that binding so the compiled build matches it.
+    request_bytes = extra.pop("request_bytes", config.request_message_bytes)
+    # Workload.on_complete is an empty hook; elide the call when it is
+    # untouched so the hot path skips a Python frame per reference.
+    on_complete = sequencer._on_complete
+    if type(workload).on_complete is Workload.on_complete:
+        on_complete = None
+    from ..coherence.transaction import _transaction_ids  # noqa: PLC0415
+    from ..interconnect.message import _message_ids  # noqa: PLC0415
+
+    step = ext.SequencerStep(
+        sequencer=sequencer,
+        scheduler=scheduler,
+        cache=cache,
+        node_id=sequencer.node_id,
+        block_bytes=block_bytes,
+        capacity=capacity,
+        blocks=blocks._blocks,
+        transactions=cache.transactions,
+        writebacks=cache.writebacks,
+        perform=sequencer._perform,
+        finish_stream=sequencer._finish_stream,
+        next_operation=sequencer._next_operation,
+        schedule_after=sequencer._schedule_after_fast1,
+        send_request=cache._send_request,
+        send_writeback=cache._send_writeback,
+        perform_label=sequencer._perform_label,
+        retry_label=sequencer._retry_label,
+        ctr_hits=sequencer._ctr_hits,
+        ctr_misses=sequencer._ctr_misses,
+        sys_operations=sequencer._sys_operations,
+        sys_instructions=sequencer._sys_instructions,
+        ctr_requests=cache._ctr_requests,
+        ctr_requests_gets=cache._ctr_requests_gets,
+        ctr_requests_getm=cache._ctr_requests_getm,
+        txn_cls=Transaction,
+        txn_id_next=_transaction_ids.__next__,
+        msg_cls=Message,
+        msg_id_next=_message_ids.__next__,
+        request_bytes=request_bytes,
+        send_mode=send_mode,
+        on_complete=on_complete,
+        txn_pool=txn_pool,
+        msg_pool=msg_pool,
+        **extra,
+    )
+    note_issue_selection(sequencer, "compiled")
+    return step

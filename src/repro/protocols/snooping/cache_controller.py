@@ -22,7 +22,7 @@ from ...coherence.state import MOSIState
 from ...coherence.transaction import Transaction
 from ...common.config import SystemConfig
 from ...errors import ProtocolError
-from ...interconnect.message import DestinationUnit, Message, MessageType
+from ...interconnect.message import DestinationUnit, Message, MessageType, _message_ids
 from ..base import CacheControllerBase, MemoryControllerBase
 from ..dispatch import (
     ARENA_PRISTINE,
@@ -175,6 +175,11 @@ class SnoopingCacheController(CacheControllerBase):
             dir_entries=memory_controller.directory._entries if mem_mode == 2 else None,
             dir_lookup=memory_controller.directory.lookup if mem_mode == 2 else None,
             completer=self._compiled_data_deliver(ext),
+            mem_serve=(
+                compile_mem_serve(memory_controller, ext)
+                if mem_mode == 2 and not mem_bash
+                else None
+            ),
             **(_home_inline_args(memory_controller) if mem_mode else {}),
         )
 
@@ -665,3 +670,133 @@ def _home_inline_args(memory_controller):
             "num_procs": config.num_processors,
         }
     return {}
+
+
+#: Captured at import: the broadcast send pipeline the compiled issue chain
+#: (send mode 1) runs entirely in C — message build, recipient set, broadcast
+#: count and the ordered network's injection.
+SEND_PRISTINE = pristine_snapshot(
+    SnoopingCacheController,
+    (
+        "_send_request",
+        "_send_writeback",
+        "_build_request_message",
+        "_request_recipients",
+        "_writeback_recipients",
+    ),
+)
+
+
+def compile_issue_send(cache, ext):
+    """``(send_mode, kwargs)`` inlining the broadcast send into C, or None.
+
+    Mode 1 replicates :meth:`SnoopingCacheController._send_request` /
+    ``_send_writeback`` + :meth:`TotallyOrderedNetwork.send` for the exact
+    stock shapes only: pristine send pipeline, stock network with unit
+    broadcast cost, the full-node recipient set, and a stock endpoint link
+    (whose transmit the prebuilt ``LinkPush`` objects inline).  Any other
+    shape returns None and the issue chain falls back to send mode 0 — C
+    bookkeeping around the bound Python ``_send_*`` methods, faithful by
+    construction.
+    """
+    from ...interconnect.link import EndpointLink  # noqa: PLC0415
+    from ...interconnect.ordered_network import TotallyOrderedNetwork  # noqa: PLC0415
+    from ..dispatch import LINK_PRISTINE, NET_SEND_PRISTINE  # noqa: PLC0415
+
+    net = cache.interconnect.ordered
+    if type(net) is not TotallyOrderedNetwork:
+        return None
+    send = cache._ordered_send
+    if (
+        getattr(send, "__self__", None) is not net
+        or send.__func__ is not TotallyOrderedNetwork.send
+    ):
+        return None
+    if not is_pristine(SEND_PRISTINE, LINK_PRISTINE, NET_SEND_PRISTINE):
+        return None
+    if net.broadcast_cost_factor != 1.0 or net._accel is not ext:
+        return None
+    all_nodes = cache.interconnect.all_nodes
+    if type(all_nodes) is not frozenset or all_nodes != net._node_ids:
+        return None
+    pair = net.links.get(cache.node_id)
+    if pair is None or type(pair.outgoing) is not EndpointLink:
+        return None
+    labels = net._inject_labels
+    extra = {
+        "all_nodes": all_nodes,
+        "net_messages": net._messages_counter,
+        "net_broadcasts": net._broadcasts_counter,
+    }
+    for key, kind in (
+        ("push_gets", MessageType.GETS),
+        ("push_getm", MessageType.GETM),
+        ("push_putm", MessageType.PUTM),
+    ):
+        label = labels.get(kind)
+        if label is None:
+            # Fill the network's own memo so pure and compiled sends of this
+            # type share the one label object.
+            label = labels[kind] = f"ordered-inject:{kind}"
+        extra[key] = ext.LinkPush(
+            net.scheduler, pair.outgoing, net._enter_switch_callback, label
+        )
+    return 1, extra
+
+
+def compile_mem_serve(memory_controller, ext):
+    """A C ``MemServe`` data-serve entry for the home memory, or None.
+
+    Replaces the Python re-entry the compiled home serve previously made for
+    the memory-is-owner DATA reply: the C object mirrors
+    :meth:`MemoryControllerBase._send_data` (pooled message build, the
+    ``data_responses``/``memory_responses`` counts and the DRAM-delayed
+    unordered send) while the directory bookkeeping stays in the compiled
+    handler.  Only offered for the exact stock memory controller shape; any
+    customisation keeps the per-message Python call, which is always
+    faithful.
+    """
+    from ...sim.arena import SimulationArena  # noqa: PLC0415
+    from ..base import MEM_DATA_PRISTINE  # noqa: PLC0415
+    from ..dispatch import (  # noqa: PLC0415
+        ARENA_ALLOC_PRISTINE,
+        inject_issue_singletons,
+    )
+
+    if not hasattr(ext, "MemServe"):
+        return None
+    if not is_pristine(MEM_DATA_PRISTINE):
+        return None
+    mem = memory_controller
+    if "_send_data" in vars(mem) or "_unordered_send" not in vars(mem):
+        return None
+    scheduler = mem.scheduler
+    if mem._schedule_after_fast1 != scheduler.schedule_after_fast1:
+        return None
+    arena = mem._arena
+    if arena is not None:
+        if type(arena) is not SimulationArena or not is_pristine(
+            ARENA_ALLOC_PRISTINE
+        ):
+            return None
+        if (
+            getattr(mem._new_message, "__self__", None) is not arena
+            or mem._new_message.__func__ is not SimulationArena.message
+        ):
+            return None
+        msg_pool = arena._messages
+    else:
+        if mem._new_message is not Message:
+            return None
+        msg_pool = None
+    inject_issue_singletons(ext)
+    return ext.MemServe(
+        controller=mem,
+        scheduler=scheduler,
+        src=mem.node_id,
+        unordered_send=mem._unordered_send,
+        data_label=mem._memory_data_label,
+        msg_cls=Message,
+        msg_id_next=_message_ids.__next__,
+        msg_pool=msg_pool,
+    )

@@ -20,6 +20,7 @@ from ..coherence.state import MOSIState
 from ..coherence.transaction import Transaction
 from ..interconnect.message import MessageType
 from ..protocols.base import CacheControllerBase
+from ..protocols.dispatch import pristine_snapshot
 from ..sim.component import Component
 from ..sim.scheduler import Scheduler
 from ..workloads.base import MemoryOperation, Workload
@@ -61,6 +62,8 @@ class Sequencer(Component):
         # at event-loop rates.
         self._blocks_get = cache_controller.blocks.get
         self._blocks_is_full = cache_controller.blocks.is_full
+        self._blocks_eviction_candidate = cache_controller.blocks.eviction_candidate
+        self._blocks_drop = cache_controller.blocks.drop
         self._transactions = cache_controller.transactions
         self._writebacks = cache_controller.writebacks
         self._block_bytes = config.cache_block_bytes
@@ -71,6 +74,11 @@ class Sequencer(Component):
         self._retry_label = self.full_label("retry-busy")
         self._ctr_misses = stats.counter(self.stat_name("misses"))
         self._ctr_hits = stats.counter(self.stat_name("hits"))
+        #: The per-operation delivery entry _fetch_next schedules.  start()
+        #: may swap in a compiled SequencerStep (repro._core) that fuses
+        #: _perform with the issue/completion bookkeeping; the pure method
+        #: here remains the executable spec and the fallback.
+        self._perform_entry = self._perform
 
     def reset(self, config: SystemConfig, workload: Workload) -> None:
         """Re-arm this sequencer for a fresh run driving ``workload``.
@@ -90,26 +98,44 @@ class Sequencer(Component):
         self._store_tokens = 0
         self._next_operation = workload.next_operation
         self._on_complete = workload.on_complete
+        # Any compiled step baked constants from the previous run's config
+        # and workload; start() recompiles against the fresh ones.
+        self._perform_entry = self._perform
         self.reset_stat_caches()
 
     # ----------------------------------------------------------------- drive
 
     def start(self) -> None:
-        """Begin issuing the workload's reference stream."""
+        """Begin issuing the workload's reference stream.
+
+        Compilation happens per run (the multiprocessor calls ``start`` for
+        every sweep point), so config- and workload-dependent constants baked
+        into the compiled step are re-derived after each reset.
+        """
+        from ..protocols.dispatch import compile_sequencer_step  # noqa: PLC0415
+
+        self._perform_entry = compile_sequencer_step(self) or self._perform
         self._fetch_next()
 
     def _fetch_next(self) -> None:
         operation = self._next_operation(self.node_id, self.scheduler.now)
         if operation is None:
-            self.done = True
-            self.count("finished")
-            if self.on_done is not None:
-                self.on_done()
+            self._finish_stream()
             return
         think = operation.think_cycles
         self._schedule_after_fast1(
-            think if think > 0 else 0, self._perform, operation, self._perform_label
+            think if think > 0 else 0,
+            self._perform_entry,
+            operation,
+            self._perform_label,
         )
+
+    def _finish_stream(self) -> None:
+        """The reference stream is exhausted; mark done and notify."""
+        self.done = True
+        self.count("finished")
+        if self.on_done is not None:
+            self.on_done()
 
     def _perform(self, operation: MemoryOperation) -> None:
         # Inline block-address and state lookups (equivalent to
@@ -121,7 +147,8 @@ class Sequencer(Component):
         state = MOSIState.INVALID if block is None else block.state
         hit = state.can_write if operation.is_write else state.has_valid_data
         if hit:
-            self._complete_hit(operation, address)
+            # A hit implies valid data, so the probed block is never None.
+            self._complete_hit(operation, block)
             return
         if address in self._transactions or address in self._writebacks:
             # A writeback for this block is still in flight (possible when a
@@ -152,12 +179,10 @@ class Sequencer(Component):
 
     # ------------------------------------------------------------ completion
 
-    def _complete_hit(self, operation: MemoryOperation, address: int) -> None:
+    def _complete_hit(self, operation: MemoryOperation, block) -> None:
         self.hits += 1
         self._ctr_hits._count += 1
-        block = self._blocks_get(address)
-        if block is not None:
-            block.last_access_time = self.scheduler.now
+        block.last_access_time = self.scheduler.now
         self._account(operation, latency=0, was_miss=False)
 
     def _complete_miss(self, transaction: Transaction) -> None:
@@ -181,18 +206,42 @@ class Sequencer(Component):
     # -------------------------------------------------------------- eviction
 
     def _maybe_evict(self) -> None:
-        """Evict the least recently used block when the cache is full."""
-        if not self.cache.blocks.is_full():
-            return
-        victim = self.cache.blocks.eviction_candidate()
+        """Evict the least recently used block when the cache is full.
+
+        The sole caller (``_perform``) has already established fullness via
+        the prebound ``_blocks_is_full``, so no state is re-derived here:
+        the candidate probe and drop go through prebound store methods, and
+        the outstanding-MSHR test indexes the prebound dicts directly.
+        """
+        victim = self._blocks_eviction_candidate()
         if victim is None:
             return
-        if self.cache.has_outstanding(victim.address):
+        address = victim.address
+        if address in self._transactions or address in self._writebacks:
             return
         if victim.is_owner:
             self.count("evictions.writeback")
-            self.cache.issue_writeback(victim.address)
+            self.cache.issue_writeback(address)
         else:
             self.count("evictions.silent")
             victim.invalidate()
-            self.cache.blocks.drop(victim.address)
+            self._blocks_drop(address)
+
+
+#: Captured at import: the per-reference chain the compiled SequencerStep
+#: (repro._core) fuses into one C call.  A class-level patch to any of these
+#: keeps the pure step (see ``compile_sequencer_step`` in
+#: ``repro.protocols.dispatch``).
+SEQUENCER_PRISTINE = pristine_snapshot(
+    Sequencer,
+    (
+        "_perform",
+        "_fetch_next",
+        "_finish_stream",
+        "_complete_hit",
+        "_complete_miss",
+        "_account",
+        "_maybe_evict",
+        "start",
+    ),
+)

@@ -118,12 +118,17 @@ class TestBackendInfo:
         }
         assert info["name"] in ("pure", "compiled")
         assert info["env_var"] == "REPRO_BACKEND"
-        assert set(info["components"]) == {"event_core", "handlers"}
+        assert set(info["components"]) == {"event_core", "handlers", "issue_chain"}
         if info["name"] == "pure":
-            assert info["components"] == {"event_core": "pure", "handlers": "pure"}
+            assert info["components"] == {
+                "event_core": "pure",
+                "handlers": "pure",
+                "issue_chain": "pure",
+            }
         else:
             assert info["components"]["event_core"] == "compiled"
             assert info["components"]["handlers"] in ("compiled", "unavailable")
+            assert info["components"]["issue_chain"] in ("compiled", "unavailable")
         assert all(
             status in ("compiled", "declined")
             for status in info["handler_selections"].values()

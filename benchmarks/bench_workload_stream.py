@@ -1,0 +1,170 @@
+"""Streaming workload engine: throughput and bounded-memory measurement.
+
+The streaming trace path (``repro.workloads.streaming``) exists so
+million-operation campaigns run under fixed RSS: sequencers pull bounded
+per-node windows from a generator or a JSONL trace file instead of a
+materialised operation list.  This benchmark measures what that costs and
+checks what it guarantees:
+
+* **equivalence** — the streaming zipfian workload must drive a simulation
+  to the identical (cycles, operations, misses) outcome as the materialised
+  ``ZipfianTrafficSpec`` twin (stationary traffic streams exactly);
+* **throughput** — operations/second of the workload layer itself, driven
+  directly through the ``next_operation``/``on_complete`` contract without a
+  simulator in the way;
+* **bounded residency** — ``max_resident_ops`` (windows plus reader
+  read-ahead) and the Python heap high-water stay proportional to the window
+  size, not the stream length.
+
+``--smoke`` is the seconds-scale CI mode: prints JSON, writes nothing, and
+fails loudly when equivalence or the residency bound breaks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+import tracemalloc
+from typing import Dict
+
+from repro.common.config import ProtocolName, SystemConfig
+from repro.system.multiprocessor import MultiprocessorSystem
+from repro.workloads.streaming import StreamingTrafficSpec
+from repro.workloads.traffic import ZipfianTrafficSpec
+
+PROCESSORS = 8
+SEED = 1
+
+
+def _run_system(spec, protocol=ProtocolName.BASH):
+    config = SystemConfig(
+        num_processors=PROCESSORS,
+        protocol=protocol,
+        bandwidth_mb_per_second=1600.0,
+        random_seed=SEED,
+    )
+    result = MultiprocessorSystem(config, spec(SEED)).run()
+    return {
+        "cycles": result.cycles,
+        "operations": result.operations,
+        "misses": result.misses,
+    }
+
+
+def measure_equivalence(operations: int = 60) -> Dict:
+    """Streaming and materialised zipfian traffic must simulate identically."""
+    materialised = _run_system(
+        ZipfianTrafficSpec(operations_per_processor=operations)
+    )
+    streamed = _run_system(
+        StreamingTrafficSpec(operations_per_processor=operations)
+    )
+    if materialised != streamed:
+        raise SystemExit(
+            f"streaming diverged from materialised workload: "
+            f"{streamed} != {materialised}"
+        )
+    return {**streamed, "identical": True}
+
+
+def drive_workload(workload, num_processors: int = PROCESSORS) -> Dict:
+    """Pump a workload through its contract without a simulator.
+
+    Completes every operation immediately, so this measures the workload
+    layer alone: window refills, generator pulls, think-time bookkeeping.
+    """
+    workload.bind(num_processors, 64, random.Random(SEED))
+    completed = 0
+    now = 0
+    start = time.perf_counter()
+    while not workload.all_finished():
+        progressed = False
+        for node in range(num_processors):
+            operation = workload.next_operation(node, now)
+            if operation is None:
+                continue
+            workload.on_complete(node, operation, 100, True, now)
+            completed += 1
+            progressed = True
+        now += 1 if progressed else 100
+    wall = time.perf_counter() - start
+    return {
+        "operations": completed,
+        "wall_seconds": round(wall, 3),
+        "ops_per_second": round(completed / wall) if wall else 0,
+        "max_resident_ops": getattr(workload, "max_resident_ops", None),
+    }
+
+
+def measure_streaming_residency(
+    operations_per_processor: int, window_ops: int = 128
+) -> Dict:
+    """Stream a long trace and report residency next to the stream length."""
+    spec = StreamingTrafficSpec(
+        operations_per_processor=operations_per_processor,
+        window_ops=window_ops,
+    )
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    stats = drive_workload(spec(SEED))
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    total = operations_per_processor * PROCESSORS
+    if stats["operations"] != total:
+        raise SystemExit(
+            f"streamed {stats['operations']} of {total} operations"
+        )
+    # The contract: residency scales with the window, not the stream.
+    bound = window_ops * PROCESSORS * 4
+    if stats["max_resident_ops"] > bound:
+        raise SystemExit(
+            f"max_resident_ops {stats['max_resident_ops']} exceeds the "
+            f"window-proportional bound {bound} for a {total}-op stream"
+        )
+    return {
+        **stats,
+        "window_ops": window_ops,
+        "total_operations": total,
+        "tracemalloc_peak_bytes": peak - before,
+        "residency_bound_ops": bound,
+    }
+
+
+def run_smoke() -> Dict:
+    return {
+        "equivalence": measure_equivalence(operations=60),
+        "residency": measure_streaming_residency(
+            operations_per_processor=25_000
+        ),
+    }
+
+
+def run_benchmark() -> Dict:
+    return {
+        "equivalence": measure_equivalence(operations=100),
+        "residency_small": measure_streaming_residency(
+            operations_per_processor=25_000
+        ),
+        "residency_large": measure_streaming_residency(
+            operations_per_processor=125_000
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick CI mode: reduced measurement, prints JSON, writes nothing",
+    )
+    args = parser.parse_args(argv)
+    report = run_smoke() if args.smoke else run_benchmark()
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,15 @@ resume with zero recomputation of finished units::
     python -m repro serve figure1 --store /tmp/units --workers 1 \\
         --fault-plan kill-after:3                    # chaos drill
 
+``trace`` writes and inspects streaming JSONL trace files — the bounded-
+memory workload format :class:`repro.workloads.StreamingTraceWorkload`
+consumes.  ``write`` materialises a service-traffic stream to disk without
+ever holding it in memory; ``info`` streams back through a file and reports
+its shape::
+
+    python -m repro trace write /tmp/svc.jsonl --processors 8 --ops 5000
+    python -m repro trace info /tmp/svc.jsonl
+
 ``backend`` reports which event-core backend (pure Python or the compiled
 ``repro._core`` extension) this process would simulate with and why —
 ``$REPRO_BACKEND``, automatic detection, or fallback::
@@ -279,6 +288,57 @@ def _build_parser() -> argparse.ArgumentParser:
         "corrupt-result:N)",
     )
 
+    trace_parser = commands.add_parser(
+        "trace",
+        help="write or inspect streaming JSONL trace files",
+    )
+    trace_commands = trace_parser.add_subparsers(
+        dest="trace_command", required=True
+    )
+    trace_write = trace_commands.add_parser(
+        "write",
+        help="generate a service-traffic trace file (streamed, not "
+        "materialised)",
+    )
+    trace_write.add_argument("path", help="output JSONL file")
+    trace_write.add_argument(
+        "--processors", type=int, default=8, metavar="P",
+        help="number of per-node operation streams (default: 8)",
+    )
+    trace_write.add_argument(
+        "--ops", type=int, default=200, metavar="N",
+        help="operations per processor (default: 200)",
+    )
+    trace_write.add_argument(
+        "--seed", type=int, default=1, metavar="SEED",
+        help="deterministic stream seed (default: 1)",
+    )
+    trace_write.add_argument(
+        "--num-keys", type=int, default=512, metavar="K",
+        help="Zipf-popular key-space size per tenant (default: 512)",
+    )
+    trace_write.add_argument(
+        "--zipf", type=float, default=0.9, metavar="S",
+        help="Zipf popularity exponent (default: 0.9)",
+    )
+    trace_write.add_argument(
+        "--write-fraction", type=float, default=0.10, metavar="F",
+        help="fraction of operations that are writes (default: 0.10)",
+    )
+    trace_write.add_argument(
+        "--tenants", type=int, default=1, metavar="G",
+        help="tenant groups sharding the key space (default: 1)",
+    )
+    trace_write.add_argument(
+        "--window", type=int, default=256, metavar="OPS",
+        help="round-robin interleave chunk — bounds the reader's "
+        "buffering (default: 256)",
+    )
+    trace_info = trace_commands.add_parser(
+        "info", help="stream through a trace file and report its shape"
+    )
+    trace_info.add_argument("path", help="JSONL trace file from `trace write`")
+
     backend_parser = commands.add_parser(
         "backend",
         help="show which event-core backend is active and how it was chosen",
@@ -471,6 +531,66 @@ def _command_worker(args) -> int:
     return 0
 
 
+def _command_trace(args) -> int:
+    from .workloads.streaming import JsonlTraceReader, write_trace_jsonl
+    from .workloads.traffic import traffic_operation_stream
+
+    if args.trace_command == "write":
+        # Lazy per-node generators: the writer interleaves them chunk by
+        # chunk, so the whole trace is never resident no matter how large.
+        streams = {
+            node: traffic_operation_stream(
+                node,
+                seed=args.seed,
+                num_processors=args.processors,
+                num_keys=args.num_keys,
+                zipf_exponent=args.zipf,
+                write_fraction=args.write_fraction,
+                tenant_groups=args.tenants,
+                operations=args.ops,
+            )
+            for node in range(args.processors)
+        }
+        rows = write_trace_jsonl(args.path, streams, interleave=args.window)
+        print(
+            f"wrote {rows} operations ({args.processors} processors, "
+            f"seed {args.seed}) to {args.path}"
+        )
+        return 0
+    reader = JsonlTraceReader(args.path)
+    processors = reader.num_processors
+    window = int(reader.header.get("interleave", 256))
+    counts = {node: 0 for node in range(processors)}
+    reads = writes = 0
+    progress = True
+    while progress:
+        progress = False
+        for node in range(processors):
+            window_ops = reader.next_window(node, window)
+            if not window_ops:
+                continue
+            progress = True
+            counts[node] += len(window_ops)
+            for operation in window_ops:
+                if operation.is_write:
+                    writes += 1
+                else:
+                    reads += 1
+    total = reads + writes
+    print(f"{args.path}: {reader.header.get('format')} "
+          f"v{reader.header.get('version')}")
+    print(f"  processors:      {processors}")
+    print(f"  block bytes:     {reader.header.get('block_bytes')}")
+    print(f"  interleave:      {window} ops/chunk")
+    print(f"  operations:      {total} "
+          f"({reads} reads, {writes} writes)")
+    print(f"  per node:        min {min(counts.values())}, "
+          f"max {max(counts.values())}")
+    print(f"  peak buffered:   {reader.max_buffered_seen} ops "
+          f"(round-robin streaming read)")
+    return 0
+
+
 def _command_verify(args) -> int:
     service = None
     if args.service_store is not None:
@@ -526,6 +646,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_serve(args)
         if args.command == "worker":
             return _command_worker(args)
+        if args.command == "trace":
+            return _command_trace(args)
         return _command_run(args)
     except (ReproError, _core.BackendError) as error:
         print(f"error: {error}", file=sys.stderr)

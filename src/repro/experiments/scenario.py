@@ -34,6 +34,12 @@ from ..workloads.patterns import (
     ReadMostlyWorkloadSpec,
 )
 from ..workloads.presets import WORKLOAD_ORDER
+from ..workloads.streaming import StreamingTrafficSpec
+from ..workloads.traffic import (
+    BurstyTrafficSpec,
+    DiurnalTrafficSpec,
+    MultiTenantTrafficSpec,
+)
 from .runner import (
     PAPER,
     PROTOCOLS,
@@ -706,6 +712,155 @@ register(
         fixed={"num_processors": _workload_processors},
     )
 )
+
+# --------------------------------------- internet-service traffic scenarios
+
+
+def _zipfian_workload(scale: ExperimentScale, coords: Mapping) -> object:
+    # Streaming on purpose: the per-node op stream is generated window by
+    # window through StreamingTraceWorkload, never materialised — the same
+    # ops ZipfianTrafficSpec would produce (verified by the test suite).
+    return StreamingTrafficSpec(
+        operations_per_processor=scale.operations_per_processor,
+    )
+
+
+def _diurnal_workload(scale: ExperimentScale, coords: Mapping) -> object:
+    return DiurnalTrafficSpec(
+        operations_per_processor=scale.operations_per_processor,
+    )
+
+
+def _bursty_workload(scale: ExperimentScale, coords: Mapping) -> object:
+    return BurstyTrafficSpec(
+        operations_per_processor=scale.operations_per_processor,
+    )
+
+
+def _multi_tenant_workload(scale: ExperimentScale, coords: Mapping) -> object:
+    return MultiTenantTrafficSpec(
+        operations_per_processor=scale.operations_per_processor,
+    )
+
+
+register(
+    GridScenario(
+        name="zipfian",
+        title="Zipf-popular service traffic (streaming)",
+        description=(
+            "Non-paper scenario: internet-service reads/writes over a "
+            "Zipf-popular key space, generated as a bounded streaming window "
+            "per node (workloads.streaming) rather than a materialised trace."
+        ),
+        axes=(PROTOCOL_AXIS, WORKLOAD_BANDWIDTH_AXIS),
+        workload=_zipfian_workload,
+        fixed={"num_processors": _workload_processors},
+    )
+)
+
+register(
+    GridScenario(
+        name="diurnal",
+        title="Diurnal service traffic",
+        description=(
+            "Non-paper scenario: Zipf-popular traffic whose think times are "
+            "modulated by a sinusoidal load curve — the day/night cycle of a "
+            "production service compressed into simulated cycles."
+        ),
+        axes=(PROTOCOL_AXIS, WORKLOAD_BANDWIDTH_AXIS),
+        workload=_diurnal_workload,
+        fixed={"num_processors": _workload_processors},
+    )
+)
+
+register(
+    GridScenario(
+        name="bursty",
+        title="Bursty (on/off) service traffic",
+        description=(
+            "Non-paper scenario: Zipf-popular traffic under an on/off burst "
+            "model — flash-crowd intervals where think times shrink by the "
+            "burst factor, then quiet periods."
+        ),
+        axes=(PROTOCOL_AXIS, WORKLOAD_BANDWIDTH_AXIS),
+        workload=_bursty_workload,
+        fixed={"num_processors": _workload_processors},
+    )
+)
+
+register(
+    GridScenario(
+        name="multi_tenant",
+        title="Multi-tenant sharded traffic",
+        description=(
+            "Non-paper scenario: node groups act as tenants with disjoint "
+            "Zipf-popular key shards — cross-tenant isolation of the hot "
+            "sets, contention only within a tenant's shard."
+        ),
+        axes=(PROTOCOL_AXIS, WORKLOAD_BANDWIDTH_AXIS),
+        workload=_multi_tenant_workload,
+        fixed={"num_processors": _workload_processors},
+    )
+)
+
+
+def _compute_traffic_validation(scale: ExperimentScale) -> Dict:
+    # Imported here, not at module top: queueing.validation drives full
+    # simulations through the experiment runner's config types.
+    from ..queueing.validation import run_traffic_validation
+
+    if scale.name == "quick":
+        think_times = (2000.0, 800.0, 200.0)
+        operations = 200
+    else:
+        think_times = (3000.0, 2000.0, 1200.0, 800.0, 400.0, 200.0)
+        operations = 400
+    return run_traffic_validation(
+        think_times, operations_per_processor=operations
+    ).to_jsonable()
+
+
+def _render_traffic_validation(result: ScenarioResult) -> str:
+    data = result.data
+    lines = [
+        f"traffic_validation [{result.scale}]: "
+        + ("PASS" if data["ok"] else "FAIL")
+        + f" — {len(data['points'])} open-loop points vs MVA "
+        f"(service={data['service_time']:g}cy, "
+        f"calibrated R0={data['calibration']:g}cy)"
+    ]
+    for point in data["points"]:
+        lines.append(
+            f"  Z={point['think_time']:>6g}cy  "
+            f"U={point['measured']['utilization']:.3f} "
+            f"(mva {point['mva']['utilization']:.3f}, "
+            f"err {point['utilization_error']:.3f})  "
+            f"X={point['measured']['throughput']:.5f}/cy "
+            f"(rel err {point['throughput_error']:.3f})  "
+            f"delay {point['measured']['queueing_delay']:.0f}cy "
+            f"(mva {point['mva']['queueing_delay']:.0f}cy)"
+        )
+    for failure in data["failures"]:
+        lines.append(f"  FAIL {failure}")
+    return "\n".join(lines)
+
+
+register(
+    AnalyticScenario(
+        name="traffic_validation",
+        title="Open-loop traffic vs MVA queueing model",
+        description=(
+            "Cross-validate the simulator against queueing.mva: an open-loop "
+            "traffic point (N customers reading cold blocks homed at one "
+            "node) is measured and its home-link utilization, throughput and "
+            "queueing delay are checked against the machine-repairman MVA "
+            "prediction within documented tolerances."
+        ),
+        compute=_compute_traffic_validation,
+        render=_render_traffic_validation,
+    )
+)
+
 
 register(
     GridScenario(

@@ -2,12 +2,32 @@
 
 from .mva import QueueingPoint, delay_versus_utilization, knee_utilization, mva_single_station
 from .simulation import QueueingSimulationResult, simulate_closed_network
+from .validation import (
+    DELAY_BAND,
+    THROUGHPUT_TOLERANCE,
+    TrafficValidationPoint,
+    TrafficValidationResult,
+    UTILIZATION_TOLERANCE,
+    calibrate_uncontended_response,
+    run_traffic_validation,
+    service_time_cycles,
+    validate_traffic_point,
+)
 
 __all__ = [
+    "DELAY_BAND",
     "QueueingPoint",
+    "THROUGHPUT_TOLERANCE",
+    "UTILIZATION_TOLERANCE",
     "delay_versus_utilization",
     "knee_utilization",
     "mva_single_station",
     "QueueingSimulationResult",
     "simulate_closed_network",
+    "TrafficValidationPoint",
+    "TrafficValidationResult",
+    "calibrate_uncontended_response",
+    "run_traffic_validation",
+    "service_time_cycles",
+    "validate_traffic_point",
 ]

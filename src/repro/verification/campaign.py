@@ -54,10 +54,12 @@ from .differential import (
     run_differential,
 )
 from .random_tester import RandomProtocolTester
+from .windowed import run_windowed_differential
 
 #: Task kinds.
 DIFFERENTIAL = "differential"
 RANDOM = "random"
+WINDOWED = "windowed"
 
 
 @dataclass(frozen=True)
@@ -75,6 +77,9 @@ class VerificationTask:
     max_outstanding_per_node: int = 1
     utilization_threshold: float = 0.75
     cache_capacity_blocks: Optional[int] = None
+    #: Windowed tasks replay this many windows of ``operations`` ops each
+    #: through long-lived systems (ignored by the other kinds).
+    windows: int = 1
 
     def trace(self) -> MemoryTrace:
         """The recorded trace a differential task replays."""
@@ -101,6 +106,8 @@ class VerificationTask:
         )
         if self.kind == DIFFERENTIAL:
             return f"differential[{self.mode}] {axes}"
+        if self.kind == WINDOWED:
+            return f"windowed[{self.mode}] {axes} windows={self.windows}"
         return f"random[{'+'.join(self.protocols)}] {axes}"
 
     def to_jsonable(self) -> Dict:
@@ -173,6 +180,26 @@ def run_task(
                 for protocol, replay_result in result.results.items()
                 if replay_result.watchdog_failure is not None
             },
+        )
+    if task.kind == WINDOWED:
+        windowed = run_windowed_differential(
+            task.seed,
+            windows=task.windows,
+            window_ops=task.operations,
+            num_processors=task.num_processors,
+            num_blocks=task.num_blocks,
+            mode=task.mode,
+            protocols=[ProtocolName(p) for p in task.protocols],
+            replay=task.replay_config(),
+            acquire=acquire,
+        )
+        return TaskOutcome(
+            task=task,
+            ok=windowed.ok,
+            failures=list(windowed.failures),
+            protocol_runs=len(task.protocols),
+            operations=windowed.operations * len(task.protocols),
+            watchdog_dumps=dict(windowed.watchdog_dumps),
         )
     if task.kind == RANDOM:
         failures: List[str] = []
@@ -364,6 +391,12 @@ class CampaignSpec:
     capacities: Tuple[Optional[int], ...] = (None,)
     random_seeds: Tuple[int, ...] = ()
     random_operations: int = 150
+    #: Windowed differential tasks: each seed replays ``windowed_windows``
+    #: windows of ``windowed_operations`` ops through long-lived systems
+    #: (caches stay warm across windows; memory stays bounded per window).
+    windowed_seeds: Tuple[int, ...] = ()
+    windowed_windows: int = 3
+    windowed_operations: int = 40
 
     def tasks(self) -> List[VerificationTask]:
         """Expand the axis cross-product into the campaign's task list."""
@@ -391,6 +424,21 @@ class CampaignSpec:
                                                 cache_capacity_blocks=capacity,
                                             )
                                         )
+        for seed in self.windowed_seeds:
+            for mode in self.modes:
+                expanded.append(
+                    VerificationTask(
+                        kind=WINDOWED,
+                        seed=seed,
+                        mode=mode,
+                        protocols=self.protocols,
+                        num_processors=self.processors[0],
+                        num_blocks=min(self.blocks),
+                        operations=self.windowed_operations,
+                        bandwidth_mb_per_second=self.bandwidths[0],
+                        windows=self.windowed_windows,
+                    )
+                )
         for seed in self.random_seeds:
             for outstanding in self.outstanding:
                 expanded.append(
@@ -420,6 +468,10 @@ class CampaignSpec:
             changes["seeds"] = tuple(seeds)
             if self.random_seeds:
                 changes["random_seeds"] = tuple(seeds)[: len(self.random_seeds)]
+            if self.windowed_seeds:
+                changes["windowed_seeds"] = tuple(seeds)[
+                    : len(self.windowed_seeds)
+                ]
         return dataclasses.replace(self, **changes)
 
 
@@ -434,6 +486,9 @@ QUICK_CAMPAIGN = CampaignSpec(
     operations=50,
     random_seeds=(0, 1),
     random_operations=150,
+    windowed_seeds=(0, 1),
+    windowed_windows=3,
+    windowed_operations=40,
 )
 
 #: The overnight campaign: wider axes, deeper seeds.
@@ -450,6 +505,9 @@ DEEP_CAMPAIGN = CampaignSpec(
     capacities=(None, 2),
     random_seeds=tuple(range(10)),
     random_operations=300,
+    windowed_seeds=tuple(range(6)),
+    windowed_windows=6,
+    windowed_operations=80,
 )
 
 #: Named campaigns the CLI can select.

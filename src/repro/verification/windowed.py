@@ -1,0 +1,433 @@
+"""Windowed differential verification: long campaigns under bounded memory.
+
+The classic differential checker (:mod:`repro.verification.differential`)
+materialises one whole :class:`MemoryTrace`, replays it through every
+protocol and compares the outcomes.  That caps a campaign's length at
+whatever trace fits comfortably in memory — and, more subtly, every replay
+starts from a *cold* machine, so deep protocol state built up over millions
+of operations is never exercised.
+
+This module runs the same cross-protocol comparison **window by window**:
+
+* a :class:`WindowedTraceSource` draws the identical random stream as
+  :func:`~repro.verification.differential.generate_trace` but hands out
+  bounded windows of operations, carrying the generator state (rng, token
+  counter, per-block writer/owner model) across calls — the concatenation of
+  its windows is op-for-op identical to one monolithic trace with the same
+  seed and shape, yet only one window is ever resident;
+* one live system **per protocol stays alive across windows** — caches stay
+  warm, directories keep their sharer sets, the adaptive policy keeps its
+  counters — and a fresh :class:`TraceReplayer` drives each window through
+  it;
+* the model's view of memory (the *carry*: last written token per block) is
+  threaded across windows, so per-window final images, strict read values
+  and consistency chains are all checked against history the current window
+  never saw.
+
+Cross-window consistency needs one piece of glue: each window's fresh
+:class:`~repro.verification.consistency.ConsistencyChecker` is seeded with
+the carried token per block as a synthetic ordered store at order position
+:data:`CARRY_ORDER` (before everything the window itself orders).  Reads of
+values written windows ago — and silent-store chains whose base store
+happened windows ago — then resolve instead of reporting unknown tokens.
+
+A failing window stops the run: after a divergence the protocols' states can
+legitimately differ, so later windows would only cascade the first failure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..common.config import ProtocolName
+from ..errors import VerificationError
+from ..system.multiprocessor import MultiprocessorSystem
+from .differential import (
+    ALL_PROTOCOLS,
+    MemoryTrace,
+    RACY,
+    READ,
+    ReplayConfig,
+    ReplayResult,
+    STRICT,
+    SystemAcquirer,
+    TraceOp,
+    TraceReplayer,
+    WRITE,
+    WRITEBACK,
+    empty_trace_workload,
+)
+
+#: Synthetic "node" recorded for carried-in block values when seeding a
+#: window's consistency checker (never a real processor id).
+CARRY_NODE = -1
+
+#: Order position assigned to carried-in values: strictly before every
+#: transaction any window orders (real order sequences are non-negative and
+#: keep increasing across windows because the systems stay alive).
+CARRY_ORDER = -1
+
+
+class WindowedTraceSource:
+    """Generates a random trace window by window, carrying generator state.
+
+    Draws the same random stream as
+    :func:`~repro.verification.differential.generate_trace`: the per-block
+    writer map is fixed up front, then every operation consumes (node,
+    block, delay, choice) draws in order.  ``next_window(n)`` therefore
+    yields windows whose concatenation is identical to one monolithic
+    ``generate_trace`` call with ``operations`` equal to the total — while
+    holding only ``n`` operations at a time.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        num_processors: int = 4,
+        num_blocks: int = 4,
+        mode: str = RACY,
+        write_fraction: float = 0.45,
+        writeback_fraction: float = 0.10,
+        max_delay: Optional[int] = None,
+    ) -> None:
+        if mode not in (STRICT, RACY):
+            raise VerificationError(f"unknown trace mode {mode!r}")
+        self.seed = seed
+        self.num_processors = num_processors
+        self.num_blocks = num_blocks
+        self.mode = mode
+        self.write_fraction = write_fraction
+        self.writeback_fraction = writeback_fraction
+        self.max_delay = (
+            (40 if mode == STRICT else 150) if max_delay is None else max_delay
+        )
+        self.single_writer = mode == RACY
+        self._rng = random.Random(seed)
+        self._writer_of = {
+            block: self._rng.randrange(num_processors)
+            for block in range(num_blocks)
+        }
+        self._owner: Dict[int, Optional[int]] = {
+            block: None for block in range(num_blocks)
+        }
+        self._token = 0
+        #: Total operations handed out so far.
+        self.generated = 0
+
+    def next_window(self, operations: int) -> MemoryTrace:
+        """The next ``operations`` ops as a standalone :class:`MemoryTrace`."""
+        rng = self._rng
+        ops: List[TraceOp] = []
+        while len(ops) < operations:
+            node = rng.randrange(self.num_processors)
+            block = rng.randrange(self.num_blocks)
+            delay = rng.randrange(1, self.max_delay)
+            choice = rng.random()
+            kind = READ
+            if choice < self.writeback_fraction:
+                if self._owner[block] is not None:
+                    node = self._owner[block]
+                    kind = WRITEBACK
+                    self._owner[block] = None
+            elif choice < self.writeback_fraction + self.write_fraction:
+                kind = WRITE
+                if self.single_writer:
+                    node = self._writer_of[block]
+                self._owner[block] = node
+            if kind == WRITE:
+                self._token += 1
+                ops.append(TraceOp(node, block, WRITE, self._token, delay))
+            else:
+                ops.append(TraceOp(node, block, kind, 0, delay))
+        self.generated += len(ops)
+        return MemoryTrace(
+            num_processors=self.num_processors,
+            num_blocks=self.num_blocks,
+            mode=self.mode,
+            seed=self.seed,
+            single_writer=self.single_writer,
+            ops=tuple(ops),
+        )
+
+
+# --------------------------------------------------------------- model carry
+
+
+def apply_window_writes(trace: MemoryTrace, carry: Dict[int, int]) -> Dict[int, int]:
+    """The model's per-block token map after replaying ``trace`` over ``carry``."""
+    updated = dict(carry)
+    for op in trace.ops:
+        if op.kind == WRITE:
+            updated[op.block] = op.token
+    return updated
+
+
+def expected_reads_with_carry(
+    trace: MemoryTrace, carry: Dict[int, int]
+) -> Dict[int, int]:
+    """Global index -> the token each strict-mode read must observe.
+
+    Like :meth:`MemoryTrace.expected_read_tokens` but starting from the
+    carried memory image instead of all-zeros, so first reads of a block a
+    window never writes expect the value written windows ago.
+    """
+    current = dict(carry)
+    expected: Dict[int, int] = {}
+    for index, op in enumerate(trace.ops):
+        if op.kind == WRITE:
+            current[op.block] = op.token
+        elif op.kind == READ:
+            expected[index] = current.get(op.block, 0)
+    return expected
+
+
+def _seed_checker(replayer: TraceReplayer, carry: Dict[int, int]) -> None:
+    """Teach a fresh window's checker about values carried in from history."""
+    for block, token in carry.items():
+        if token == 0:
+            continue
+        replayer.checker.record_write(
+            CARRY_NODE, replayer._address(block), token, CARRY_ORDER, 0
+        )
+
+
+# ----------------------------------------------------------------- comparison
+
+
+def _compare_window(
+    trace: MemoryTrace,
+    results: Dict[ProtocolName, ReplayResult],
+    carry: Dict[int, int],
+) -> List[str]:
+    """Cross-protocol and model comparison of one window's outcomes.
+
+    The windowed twin of the monolithic checker's ``_compare_results``: the
+    model prediction starts from the carried image, and strict read values
+    are checked against :func:`expected_reads_with_carry`.
+    """
+    failures: List[str] = []
+    for result in results.values():
+        failures.extend(result.failures())
+    complete = {
+        protocol: result
+        for protocol, result in results.items()
+        if result.completed == result.operations
+    }
+    predicted = apply_window_writes(trace, carry)
+    for protocol, result in complete.items():
+        for block, want in predicted.items():
+            got = result.final_image.get(block, 0)
+            if got != want:
+                failures.append(
+                    f"{protocol}: block {block} ended with token {got}, "
+                    f"the carried model predicts {want}"
+                )
+    protocols = list(complete)
+    if len(protocols) >= 2:
+        reference = protocols[0]
+        base = complete[reference]
+        compare_performed = all(r.evictions == 0 for r in complete.values())
+        for other in protocols[1:]:
+            candidate = complete[other]
+            for block in range(trace.num_blocks):
+                left = base.final_image.get(block, 0)
+                right = candidate.final_image.get(block, 0)
+                if left != right:
+                    failures.append(
+                        f"final image diverges on block {block}: "
+                        f"{reference}={left} vs {other}={right}"
+                    )
+            if trace.mode == STRICT:
+                for node in range(trace.num_processors):
+                    for slot, (lhs, rhs) in enumerate(
+                        zip(base.observations[node], candidate.observations[node])
+                    ):
+                        if lhs is None or rhs is None:
+                            continue
+                        same = (
+                            lhs == rhs if compare_performed else lhs[:3] == rhs[:3]
+                        )
+                        if not same:
+                            failures.append(
+                                f"observation diverges at node {node} op "
+                                f"{slot}: {reference}={lhs} vs {other}={rhs}"
+                            )
+    if trace.mode == STRICT:
+        expected = expected_reads_with_carry(trace, carry)
+        slot_of: Dict[int, Tuple[int, int]] = {}
+        for node, stream in trace.per_node().items():
+            for slot, (index, _op) in enumerate(stream):
+                slot_of[index] = (node, slot)
+        for protocol, result in complete.items():
+            for index, want in expected.items():
+                node, slot = slot_of[index]
+                observed = result.observations[node][slot]
+                if observed is None:
+                    continue
+                got = observed[2]
+                if got != want:
+                    failures.append(
+                        f"{protocol}: node {node} read op {slot} observed "
+                        f"token {got}, the carried serialisation requires "
+                        f"{want}"
+                    )
+    return failures
+
+
+# ------------------------------------------------------------------------ run
+
+
+@dataclass
+class WindowedDifferentialResult:
+    """Outcome of one windowed differential run."""
+
+    seed: int
+    mode: str
+    num_processors: int
+    num_blocks: int
+    windows_requested: int
+    windows_completed: int
+    window_ops: int
+    operations: int
+    protocols: Tuple[ProtocolName, ...]
+    failures: List[str] = field(default_factory=list)
+    #: Failures of the (single) window that stopped the run, keyed by index.
+    window_failures: Dict[int, List[str]] = field(default_factory=dict)
+    #: The model's final per-block token map (the carry after the last window).
+    final_tokens: Dict[int, int] = field(default_factory=dict)
+    #: Final simulator cycle per protocol (systems stay alive across windows).
+    cycles: Dict[str, int] = field(default_factory=dict)
+    watchdog_dumps: Dict[str, Dict] = field(default_factory=dict)
+    #: Peak number of trace operations materialised at any moment — the
+    #: bounded-memory contract: one window, never the whole campaign.
+    max_resident_ops: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def raise_on_failure(self) -> None:
+        if self.failures:
+            summary = "; ".join(self.failures[:10])
+            raise VerificationError(
+                f"windowed differential check failed "
+                f"({len(self.failures)} problem(s)): {summary}"
+            )
+
+    def to_jsonable(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "mode": self.mode,
+            "num_processors": self.num_processors,
+            "num_blocks": self.num_blocks,
+            "windows_requested": self.windows_requested,
+            "windows_completed": self.windows_completed,
+            "window_ops": self.window_ops,
+            "operations": self.operations,
+            "protocols": [str(p) for p in self.protocols],
+            "ok": self.ok,
+            "failures": list(self.failures),
+            "final_tokens": {
+                str(block): token
+                for block, token in sorted(self.final_tokens.items())
+            },
+            "cycles": dict(self.cycles),
+            "max_resident_ops": self.max_resident_ops,
+            "watchdog_dumps": dict(self.watchdog_dumps) or None,
+        }
+
+
+def run_windowed_differential(
+    seed: int,
+    windows: int = 4,
+    window_ops: int = 50,
+    num_processors: int = 4,
+    num_blocks: int = 4,
+    mode: str = RACY,
+    write_fraction: float = 0.45,
+    writeback_fraction: float = 0.10,
+    protocols: Sequence[ProtocolName] = ALL_PROTOCOLS,
+    replay: ReplayConfig = ReplayConfig(),
+    acquire: Optional[SystemAcquirer] = None,
+) -> WindowedDifferentialResult:
+    """Replay ``windows`` bounded trace windows through long-lived systems.
+
+    Each protocol's system is built once (window 0) and kept alive: window
+    ``k+1`` starts from whatever cache/directory/policy state window ``k``
+    left behind, exactly like one long monolithic replay — but only one
+    window of trace is ever materialised.  ``replay.max_cycles`` is applied
+    per window, relative to each system's current cycle.
+    """
+    if windows < 1:
+        raise VerificationError(f"windows must be >= 1 (got {windows})")
+    if window_ops < 1:
+        raise VerificationError(f"window_ops must be >= 1 (got {window_ops})")
+    if acquire is None:
+        acquire = lambda config, workload: MultiprocessorSystem(config, workload)
+    source = WindowedTraceSource(
+        seed,
+        num_processors=num_processors,
+        num_blocks=num_blocks,
+        mode=mode,
+        write_fraction=write_fraction,
+        writeback_fraction=writeback_fraction,
+    )
+    resolved = tuple(ProtocolName(p) for p in protocols)
+    systems: Dict[ProtocolName, MultiprocessorSystem] = {}
+    carry: Dict[int, int] = {block: 0 for block in range(num_blocks)}
+    failures: List[str] = []
+    window_failures: Dict[int, List[str]] = {}
+    cycles: Dict[str, int] = {}
+    watchdog_dumps: Dict[str, Dict] = {}
+    max_resident = 0
+    completed_windows = 0
+    for index in range(windows):
+        window = source.next_window(window_ops)
+        max_resident = max(max_resident, len(window.ops))
+        results: Dict[ProtocolName, ReplayResult] = {}
+        for protocol in resolved:
+            if protocol not in systems:
+                config = replay.system_config(window, protocol)
+                systems[protocol] = acquire(
+                    config, empty_trace_workload(num_processors)
+                )
+            system = systems[protocol]
+            window_replay = dataclasses.replace(
+                replay, max_cycles=system.simulator.now + replay.max_cycles
+            )
+            replayer = TraceReplayer(system, window, window_replay)
+            _seed_checker(replayer, carry)
+            result = replayer.run()
+            results[protocol] = result
+            cycles[str(protocol)] = system.simulator.now
+            if result.watchdog_failure is not None:
+                watchdog_dumps[str(protocol)] = result.watchdog_failure
+        problems = _compare_window(window, results, carry)
+        if problems:
+            window_failures[index] = problems
+            failures.extend(f"window {index}: {line}" for line in problems)
+            # Protocol states may legitimately diverge after a real failure;
+            # later windows would only cascade it.
+            break
+        carry = apply_window_writes(window, carry)
+        completed_windows += 1
+    return WindowedDifferentialResult(
+        seed=seed,
+        mode=mode,
+        num_processors=num_processors,
+        num_blocks=num_blocks,
+        windows_requested=windows,
+        windows_completed=completed_windows,
+        window_ops=window_ops,
+        operations=source.generated,
+        protocols=resolved,
+        failures=failures,
+        window_failures=window_failures,
+        final_tokens=carry,
+        cycles=cycles,
+        watchdog_dumps=watchdog_dumps,
+        max_resident_ops=max_resident,
+    )

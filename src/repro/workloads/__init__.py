@@ -13,10 +13,46 @@ from .patterns import (
     build_mixed_trace,
 )
 from .presets import WORKLOAD_ORDER, WORKLOAD_PRESETS, WorkloadPreset, preset
+from .streaming import (
+    GeneratedOpStream,
+    JsonlTraceReader,
+    OperationStream,
+    StreamingTraceFileSpec,
+    StreamingTraceWorkload,
+    StreamingTrafficSpec,
+    write_trace_jsonl,
+)
 from .synthetic import SyntheticCommercialWorkload
 from .trace import TraceWorkload
+from .traffic import (
+    BurstyTrafficSpec,
+    DiurnalTrafficSpec,
+    MultiTenantTrafficSpec,
+    OpenLoopHomeWorkload,
+    TrafficWorkload,
+    ZipfianTrafficSpec,
+    ZipfSampler,
+    build_traffic_trace,
+    traffic_operation_stream,
+)
 
 __all__ = [
+    "GeneratedOpStream",
+    "JsonlTraceReader",
+    "OperationStream",
+    "StreamingTraceFileSpec",
+    "StreamingTraceWorkload",
+    "StreamingTrafficSpec",
+    "write_trace_jsonl",
+    "BurstyTrafficSpec",
+    "DiurnalTrafficSpec",
+    "MultiTenantTrafficSpec",
+    "OpenLoopHomeWorkload",
+    "TrafficWorkload",
+    "ZipfianTrafficSpec",
+    "ZipfSampler",
+    "build_traffic_trace",
+    "traffic_operation_stream",
     "MemoryOperation",
     "Workload",
     "LockingMicrobenchmark",

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..coherence.state import MOSIState
+from ..errors import WorkloadError
 
 
 @dataclass(slots=True)
@@ -33,6 +34,28 @@ class Workload:
     the processor count, block size and a seeded random generator), then each
     sequencer repeatedly asks for its next operation and reports completions.
     """
+
+    # Class-level defaults so an unbound workload is introspectable (describe,
+    # repr) without AttributeError; anything that needs the binding goes
+    # through :meth:`require_bound` and fails with a clear WorkloadError.
+    num_processors: Optional[int] = None
+    block_bytes: Optional[int] = None
+    rng: Optional[random.Random] = None
+
+    @property
+    def is_bound(self) -> bool:
+        """True once :meth:`bind` has attached this workload to a system."""
+        return self.num_processors is not None
+
+    def require_bound(self) -> int:
+        """The bound processor count, or a clear error before any bind."""
+        if self.num_processors is None:
+            raise WorkloadError(
+                f"{type(self).__name__} is not bound to a system yet; "
+                "bind(num_processors, block_bytes, rng) must run before "
+                "operations or completion queries"
+            )
+        return self.num_processors
 
     def bind(self, num_processors: int, block_bytes: int, rng: random.Random) -> None:
         """Attach the workload to a system about to be simulated."""
@@ -63,7 +86,7 @@ class Workload:
 
     def all_finished(self) -> bool:
         """True when every processor has completed its share of the work."""
-        return all(self.finished(node) for node in range(self.num_processors))
+        return all(self.finished(node) for node in range(self.require_bound()))
 
     def describe(self) -> str:
         """Human-readable one-line description (used by reports)."""

@@ -38,25 +38,56 @@ def operations_to_jsonable(
     }
 
 
+def operation_from_row(row: Sequence, node: object, index: int) -> MemoryOperation:
+    """One serialised row back into a :class:`MemoryOperation`.
+
+    Artifact files are edited by hand (shrunk reproducers) and produced by
+    external tools, so every row is validated individually: a short, extra or
+    mistyped row raises :class:`~repro.errors.WorkloadError` naming the node
+    and row index instead of leaking a bare ``ValueError``/``TypeError``.
+    """
+    if not isinstance(row, (list, tuple)) or len(row) != 5:
+        raise WorkloadError(
+            f"node {node} row {index}: expected "
+            "[address, is_write, think_cycles, instructions, label], "
+            f"got {row!r}"
+        )
+    address, is_write, think_cycles, instructions, label = row
+    try:
+        operation = MemoryOperation(
+            address=int(address),
+            is_write=bool(is_write),
+            think_cycles=int(think_cycles),
+            instructions=int(instructions),
+            label=str(label),
+        )
+    except (TypeError, ValueError) as error:
+        raise WorkloadError(
+            f"node {node} row {index}: malformed field in {row!r} ({error})"
+        ) from error
+    if operation.address < 0 or operation.think_cycles < 0:
+        raise WorkloadError(
+            f"node {node} row {index}: address and think_cycles must be "
+            f"non-negative, got {row!r}"
+        )
+    return operation
+
+
 def operations_from_jsonable(
     data: Mapping[str, Sequence[Sequence]],
 ) -> Dict[int, List[MemoryOperation]]:
     """Inverse of :func:`operations_to_jsonable`."""
     traces: Dict[int, List[MemoryOperation]] = {}
     for node, rows in data.items():
-        operations = []
-        for row in rows:
-            address, is_write, think_cycles, instructions, label = row
-            operations.append(
-                MemoryOperation(
-                    address=int(address),
-                    is_write=bool(is_write),
-                    think_cycles=int(think_cycles),
-                    instructions=int(instructions),
-                    label=str(label),
-                )
-            )
-        traces[int(node)] = operations
+        try:
+            node_id = int(node)
+        except (TypeError, ValueError) as error:
+            raise WorkloadError(
+                f"trace node key {node!r} is not an integer"
+            ) from error
+        traces[node_id] = [
+            operation_from_row(row, node, index) for index, row in enumerate(rows)
+        ]
     return traces
 
 
@@ -71,6 +102,15 @@ class TraceWorkload(Workload):
         }
         self._positions: Dict[int, int] = {node: 0 for node in self._traces}
         self._completed: Dict[int, int] = {node: 0 for node in self._traces}
+
+    def bind(self, num_processors: int, block_bytes: int, rng) -> None:
+        # A workload object is re-bound on every system build *and* reset
+        # (sweep points reuse the machine), so replay state must rewind to the
+        # start of the trace here — surviving positions would resume a reused
+        # workload mid-trace and break the reset-equivalence contract.
+        super().bind(num_processors, block_bytes, rng)
+        self._positions = {node: 0 for node in self._traces}
+        self._completed = {node: 0 for node in self._traces}
 
     @classmethod
     def single_processor_stream(

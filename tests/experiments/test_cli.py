@@ -307,3 +307,58 @@ class TestVerifyService:
             ["verify", "--campaign", "quick", "--fault-plan", "kill-after:1"]
         ) == 2
         assert "--service-store" in capsys.readouterr().err
+
+
+class TestTraceCommands:
+    def test_write_then_info_round_trip(self, capsys, tmp_path):
+        path = str(tmp_path / "svc.jsonl")
+        assert main(
+            ["trace", "write", path, "--processors", "4", "--ops", "120",
+             "--seed", "3", "--window", "32"]
+        ) == 0
+        written = capsys.readouterr().out
+        assert "480" in written  # 4 x 120 operations recorded
+        assert main(["trace", "info", path]) == 0
+        info = capsys.readouterr().out
+        assert "repro-trace" in info
+        assert "480" in info
+
+    def test_written_trace_replays_through_run(self, capsys, tmp_path):
+        # the file a user records with `trace write` must drive a simulation
+        from repro.workloads.streaming import (
+            JsonlTraceReader,
+            StreamingTraceWorkload,
+        )
+        import random as _random
+
+        path = str(tmp_path / "svc.jsonl")
+        assert main(
+            ["trace", "write", path, "--processors", "2", "--ops", "40"]
+        ) == 0
+        capsys.readouterr()
+        workload = StreamingTraceWorkload(JsonlTraceReader(path))
+        workload.bind(2, 64, _random.Random(1))
+        assert workload.next_operation(0, 0) is not None
+
+    def test_info_on_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["trace", "info", str(tmp_path / "nope.jsonl")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestTrafficScenarios:
+    def test_zipfian_scenario_single_point(self, capsys):
+        assert main(
+            ["run", "zipfian", "--scale", "quick",
+             "--axis", "bandwidth=1600", "--axis", "protocol=bash"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bash" in out
+
+    def test_traffic_validation_scenario_passes_mva_cross_check(self, capsys):
+        assert main(["run", "traffic_validation", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "traffic_validation"
+        assert payload["data"]["ok"] is True
+        assert payload["data"]["failures"] == []
+        for point in payload["data"]["points"]:
+            assert point["ok"] is True

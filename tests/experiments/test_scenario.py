@@ -439,3 +439,18 @@ class TestFigureDriverPlumbing:
         frame = scenario.grid(TINY).run()
         text = format_frame("custom", frame, x_label="workload")
         assert "specjbb" in text
+
+
+class TestTrafficScenarioRegistration:
+    def test_traffic_grids_registered(self):
+        for name in ("zipfian", "diurnal", "bursty", "multi_tenant"):
+            assert SCENARIOS[name].kind == "grid", name
+
+    def test_traffic_validation_is_analytic(self):
+        assert SCENARIOS["traffic_validation"].kind == "analytic"
+
+    def test_traffic_grid_expands_protocol_x_bandwidth(self):
+        grid = SCENARIOS["zipfian"].grid(TINY)
+        protocols = {spec.protocol for spec in grid.specs()}
+        assert len(protocols) == 3
+        assert len(grid) % len(protocols) == 0

@@ -1,0 +1,103 @@
+"""MVA cross-validation: simulator traffic vs the analytic queueing model."""
+
+import json
+
+import pytest
+
+from repro.common.config import ProtocolName, SystemConfig
+from repro.errors import VerificationError
+from repro.queueing import (
+    UTILIZATION_TOLERANCE,
+    calibrate_uncontended_response,
+    run_traffic_validation,
+    service_time_cycles,
+    validate_traffic_point,
+)
+
+
+def _config(bandwidth=400.0):
+    return SystemConfig(
+        num_processors=8,
+        protocol=ProtocolName.DIRECTORY,
+        bandwidth_mb_per_second=bandwidth,
+        random_seed=1,
+    )
+
+
+class TestServiceTime:
+    def test_service_time_at_paper_bandwidth(self):
+        # 400 MB/s at 400 MHz = 1 byte/cycle: 72B data + 8B marker = 200cy...
+        # ceil(72/1) + ceil(8/1) with the configured message sizes
+        config = _config()
+        bpc = config.bytes_per_cycle
+        expected = -(-config.data_message_bytes // bpc) + -(
+            -config.request_message_bytes // bpc
+        )
+        assert service_time_cycles(config) == expected
+
+    def test_service_time_shrinks_with_bandwidth(self):
+        assert service_time_cycles(_config(1600.0)) < service_time_cycles(
+            _config(400.0)
+        )
+
+
+class TestValidatePoint:
+    def test_moderate_load_point_agrees_with_mva(self):
+        point = validate_traffic_point(800.0, operations_per_processor=150)
+        assert point.ok, point.failures()
+        assert point.utilization_error <= UTILIZATION_TOLERANCE
+        assert point.delay_within_band
+        assert point.operations == 7 * 150
+
+    def test_customers_must_leave_room_for_the_home(self):
+        with pytest.raises(VerificationError):
+            validate_traffic_point(500.0, customers=8, num_processors=8)
+
+    def test_point_jsonable_shape(self):
+        point = validate_traffic_point(1500.0, operations_per_processor=100)
+        payload = json.loads(json.dumps(point.to_jsonable()))
+        assert set(payload["measured"]) == {
+            "utilization",
+            "throughput",
+            "queueing_delay",
+            "response_time",
+        }
+        assert set(payload["mva"]) == set(payload["measured"])
+        assert payload["ok"] == point.ok
+        assert 0.0 <= payload["measured"]["utilization"] <= 1.0
+
+
+class TestCalibration:
+    def test_uncontended_response_exceeds_pure_service(self):
+        calibration = calibrate_uncontended_response(
+            operations_per_processor=100
+        )
+        service = service_time_cycles(_config())
+        # a real miss pays protocol hops on top of the home link occupancy
+        assert calibration > service
+        assert calibration < 10 * service
+
+
+class TestTrafficValidationSweep:
+    def test_light_to_heavy_sweep_stays_within_tolerance(self):
+        result = run_traffic_validation(
+            think_times=(2000.0, 400.0), operations_per_processor=200
+        )
+        assert result.ok, result.failures()
+        assert len(result.points) == 2
+        # heavier load (shorter think time) must raise utilisation
+        light, heavy = result.points
+        assert heavy.measured_utilization > light.measured_utilization
+        assert heavy.predicted.utilization > light.predicted.utilization
+
+    def test_sweep_jsonable_documents_the_tolerances(self):
+        result = run_traffic_validation(
+            think_times=(1200.0,), operations_per_processor=100
+        )
+        payload = json.loads(json.dumps(result.to_jsonable()))
+        assert payload["tolerances"]["utilization_abs"] == pytest.approx(
+            UTILIZATION_TOLERANCE
+        )
+        assert "delay_band" in payload["tolerances"]
+        assert payload["failures"] == []
+        assert len(payload["points"]) == 1

@@ -187,3 +187,107 @@ class TestTraceWorkload:
         assert TraceWorkload.from_jsonable(json.loads(payload)).to_jsonable() == (
             workload.to_jsonable()
         )
+
+
+class TestTraceRowDiagnostics:
+    """operations_from_jsonable must name the node and row of any bad row."""
+
+    def _payload(self, rows):
+        from repro.workloads.trace import operations_from_jsonable
+
+        return operations_from_jsonable({"3": rows})
+
+    def test_short_row_names_node_and_index(self):
+        with pytest.raises(WorkloadError, match="node 3 row 1: expected"):
+            self._payload([[0, True, 1, 0, "ok"], [64, False]])
+
+    def test_non_list_row_names_node_and_index(self):
+        with pytest.raises(WorkloadError, match="node 3 row 0: expected"):
+            self._payload(["not-a-row"])
+
+    def test_mistyped_field_names_node_and_index(self):
+        with pytest.raises(WorkloadError, match="node 3 row 2: malformed field"):
+            self._payload(
+                [[0, True, 1, 0, "a"], [64, False, 0, 0, "b"],
+                 [None, False, 0, 0, "c"]]
+            )
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(WorkloadError, match="node 3 row 0"):
+            self._payload([[-64, True, 1, 0, "neg"]])
+
+    def test_non_integer_node_key_rejected(self):
+        from repro.workloads.trace import operations_from_jsonable
+
+        with pytest.raises(WorkloadError, match="node key 'xyz'"):
+            operations_from_jsonable({"xyz": []})
+
+
+class TestTraceRebindEquivalence:
+    """bind() must rewind replay state: reused workloads replay from op 0."""
+
+    def _drain_node(self, workload, node):
+        ops = []
+        while True:
+            op = workload.next_operation(node, 0)
+            if op is None:
+                break
+            workload.on_complete(node, op, 10, True, 0)
+            ops.append(op)
+        return ops
+
+    def test_rebind_rewinds_positions_and_completions(self):
+        trace = {
+            node: [MemoryOperation(address=(node * 8 + i) * 64,
+                                   is_write=i % 2 == 0)
+                   for i in range(6)]
+            for node in range(2)
+        }
+        workload = bind(TraceWorkload(trace), processors=2)
+        first = {node: self._drain_node(workload, node) for node in range(2)}
+        assert workload.all_finished()
+        bind(workload, processors=2)  # a sweep point reusing the machine
+        assert not workload.all_finished()
+        second = {node: self._drain_node(workload, node) for node in range(2)}
+        assert second == first
+        assert workload.all_finished()
+
+    def test_partial_replay_then_rebind_starts_over(self):
+        trace = {
+            0: [MemoryOperation(address=i * 64, is_write=False)
+                for i in range(5)]
+        }
+        workload = bind(TraceWorkload(trace), processors=1)
+        head = workload.next_operation(0, 0)
+        workload.on_complete(0, head, 10, True, 0)
+        bind(workload, processors=1)
+        assert workload.next_operation(0, 0) == head
+
+
+class TestUnboundWorkloadContract:
+    """Unbound workloads: introspection works, queries fail clearly."""
+
+    def test_all_finished_before_bind_raises_workload_error(self):
+        workload = TraceWorkload({0: []})
+        with pytest.raises(WorkloadError, match="not bound to a system yet"):
+            workload.all_finished()
+
+    def test_describe_works_before_bind(self):
+        # class-level defaults keep unbound introspection AttributeError-free
+        workload = SyntheticCommercialWorkload(
+            WORKLOAD_ORDER[0], operations_per_processor=10
+        )
+        assert isinstance(workload.describe(), str)
+        assert workload.num_processors is None
+        assert not workload.is_bound
+
+    def test_bind_makes_the_same_queries_succeed(self):
+        workload = TraceWorkload({0: []})
+        bind(workload, processors=1)
+        assert workload.is_bound
+        assert workload.all_finished()
+
+    def test_require_bound_reports_the_workload_class(self):
+        workload = LockingMicrobenchmark(num_locks=4, acquires_per_processor=1)
+        with pytest.raises(WorkloadError, match="LockingMicrobenchmark"):
+            workload.require_bound()
